@@ -1,0 +1,32 @@
+# Convenience targets for the MediaWorm reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-default repro examples clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:            ## quick-profile benchmarks (shape checks)
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-default:    ## the EXPERIMENTS.md setting (slow)
+	REPRO_BENCH_PROFILE=default $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+repro:            ## regenerate every figure/table at the default profile
+	$(PYTHON) -m repro.experiments.cli all --profile default
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/scheduler_shootout.py
+	$(PYTHON) examples/video_server_admission.py
+	$(PYTHON) examples/cluster_fat_mesh.py
+	$(PYTHON) examples/pcs_vs_mediaworm.py
+	$(PYTHON) examples/gop_trace_study.py
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,34 @@
+"""Figure 7 — effect of message size on jitter (16 VCs).
+
+Paper's claims: "except for very small message sizes, there is little
+impact on QoS for real-time traffic.  For very small sizes, the effect
+of the header flit overhead becomes noticeable" (1 header flit in 20 is
+5% of the stream bandwidth), and "smaller sizes may help the latency
+for best-effort traffic".
+
+Reproduction note (see EXPERIMENTS.md): the mean delivery interval is
+indeed size-insensitive.  Our sigma_d mildly *increases* with message
+size (longer VC holds make service burstier), while the header-flit
+overhead of tiny messages only costs wire bandwidth (~11% at 10 flits)
+without pushing these operating points over the edge — so the "very
+small sizes are noticeably worse" corner of the paper's figure does not
+reproduce at these loads; the headline conclusion (use small messages)
+does.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import run_fig7
+from repro.experiments.report import figure_to_text
+from repro.experiments.validation import check_claims, claims_to_text
+
+
+def bench_fig7_message_size(benchmark, profile):
+    fig = run_once(benchmark, lambda: run_fig7(profile))
+    print()
+    print(figure_to_text(fig))
+    results = check_claims(fig)
+    print()
+    print(claims_to_text(results))
+    failed = [r for r in results if not r.passed]
+    assert not failed, f"paper claims failed: {[r.claim for r in failed]}"

@@ -1,0 +1,40 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one figure/table of the paper's evaluation,
+prints the reproduced rows/series (compare them against EXPERIMENTS.md),
+and asserts the paper's qualitative shape.
+
+The workload profile is selected with the ``REPRO_BENCH_PROFILE``
+environment variable:
+
+* ``quick``   (default) — scale 40, ~30 s-2 min per figure;
+* ``default`` — scale 20, the EXPERIMENTS.md setting;
+* ``full``    — paper-faithful scale 1 (hours; for final validation).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.figures import PROFILES
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The RunProfile benchmarks execute under."""
+    name = os.environ.get("REPRO_BENCH_PROFILE", "quick")
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise pytest.UsageError(
+            f"REPRO_BENCH_PROFILE={name!r}; expected one of {sorted(PROFILES)}"
+        )
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Simulation sweeps are deterministic and expensive; a single round
+    both times the sweep and returns its data for shape assertions.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

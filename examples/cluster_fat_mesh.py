@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""A 16-node cluster on a 2x2 fat mesh of MediaWorm switches.
+
+Reproduces the deployment of section 5.7: four 8-port switches, four
+hosts each, two physical links between every adjacent pair ("fat"
+links), deterministic dimension-order routing with load-based fat-link
+selection.  Sweeps the real-time share of the traffic and reports both
+the video QoS and the best-effort latency — the trade-off of Fig. 9.
+
+Also demonstrates scaling beyond the paper: pass ``--mesh 3`` for a
+3x3 fat mesh (36 hosts), the scalability direction the paper lists as
+future work.
+
+Run with:  python examples/cluster_fat_mesh.py [--mesh 2] [--load 0.8]
+"""
+
+import argparse
+
+from repro import FatMeshExperiment, simulate_fat_mesh
+from repro.experiments.report import format_table
+
+MIXES = ((40, 60), (60, 40), (80, 20))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mesh", type=int, default=2, help="mesh side length")
+    parser.add_argument("--load", type=float, default=0.8)
+    args = parser.parse_args()
+
+    rows = []
+    for mix in MIXES:
+        experiment = FatMeshExperiment(
+            rows=args.mesh,
+            cols=args.mesh,
+            load=args.load,
+            mix=mix,
+            scale=32.0,
+            warmup_frames=2,
+            measure_frames=5,
+            seed=1,
+        )
+        result = simulate_fat_mesh(experiment)
+        metrics = result.metrics
+        rows.append(
+            [
+                f"{mix[0]}:{mix[1]}",
+                metrics.d,
+                metrics.sigma_d,
+                metrics.be_latency_us,
+                metrics.frames_delivered,
+            ]
+        )
+        print(f"  done: mix={mix[0]}:{mix[1]} "
+              f"({len(result.workload.streams)} streams)")
+
+    print(f"\n{args.mesh}x{args.mesh} fat mesh at load {args.load:g}:")
+    print(
+        format_table(
+            ["mix", "d (ms)", "sigma_d (ms)", "BE latency (us)", "frames"],
+            rows,
+        )
+    )
+    print(
+        "\nreading: video stays near d=33 ms across mixes; the cost of a "
+        "larger real-time share is carried by best-effort latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

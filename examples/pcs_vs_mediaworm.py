@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""MediaWorm (wormhole) against a pipelined circuit switching router.
+
+The paper's section 5.6 comparison: a connection-oriented PCS router
+reserves one VC per stream and delivers excellent jitter — but drops
+connection attempts whenever a drawn VC is busy, and needs one VC per
+stream (24 VCs for a 100 Mbps link of 4 Mbps streams).  The wormhole
+MediaWorm router accepts *every* stream on far fewer resources and
+stays jitter-free well into realistic operating loads.
+
+Prints the Fig. 8 jitter comparison side by side with the Table 3
+connection accounting.
+
+Run with:  python examples/pcs_vs_mediaworm.py
+"""
+
+from repro import (
+    PCSExperiment,
+    SingleSwitchExperiment,
+    simulate_pcs,
+    simulate_single_switch,
+)
+from repro.experiments.report import format_table
+
+LOADS = (0.4, 0.6, 0.7, 0.8, 0.9)
+RUN = dict(scale=25.0, warmup_frames=2, measure_frames=6, seed=1)
+
+
+def main() -> None:
+    rows = []
+    for load in LOADS:
+        wormhole = simulate_single_switch(
+            SingleSwitchExperiment(
+                load=load, mix=(100, 0), bandwidth_mbps=100.0, vcs_per_pc=24,
+                **RUN,
+            )
+        )
+        pcs = simulate_pcs(PCSExperiment(load=load, **RUN))
+        stats = pcs.connections
+        rows.append(
+            [
+                f"{load:g}",
+                wormhole.metrics.d,
+                wormhole.metrics.sigma_d,
+                pcs.metrics.d,
+                pcs.metrics.sigma_d,
+                stats.attempts,
+                stats.established,
+                stats.dropped,
+            ]
+        )
+        print(f"  done: load={load:g} "
+              f"(PCS dropped {stats.dropped}/{stats.attempts} attempts)")
+
+    print()
+    print(
+        format_table(
+            [
+                "load",
+                "WH d",
+                "WH sigma",
+                "PCS d",
+                "PCS sigma",
+                "PCS attempts",
+                "established",
+                "dropped",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nreading: both deliver ~33 ms; PCS keeps sigma low by refusing "
+        "work — every stream MediaWorm carries was accepted, while PCS "
+        "turns away a growing share of connection attempts as load rises."
+    )
+
+
+if __name__ == "__main__":
+    main()

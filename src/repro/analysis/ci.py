@@ -1,0 +1,85 @@
+"""Confidence intervals for simulation outputs.
+
+Single simulation runs give point estimates; when sweeping seeds (the
+recommended practice for publication-grade numbers), these helpers turn
+the per-seed estimates into a Student-t confidence interval, and
+``run_with_seeds`` drives the replication loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from scipy import stats as scipy_stats
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A mean with its symmetric confidence half-width."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.4g} +/- {self.half_width:.3g} "
+            f"({self.confidence:.0%}, n={self.n})"
+        )
+
+
+def t_confidence_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Student-t confidence interval of the mean of ``samples``."""
+    if not 0 < confidence < 1:
+        raise ConfigurationError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    n = len(samples)
+    if n < 2:
+        raise ConfigurationError(
+            f"need >= 2 samples for a confidence interval, got {n}"
+        )
+    mean = sum(samples) / n
+    variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    sem = math.sqrt(variance / n)
+    critical = float(scipy_stats.t.ppf((1 + confidence) / 2, n - 1))
+    return ConfidenceInterval(
+        mean=mean, half_width=critical * sem, confidence=confidence, n=n
+    )
+
+
+def run_with_seeds(
+    run: Callable[[int], float],
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+) -> ConfidenceInterval:
+    """Replicate ``run(seed)`` over ``seeds`` and summarise the results.
+
+    >>> ci = run_with_seeds(
+    ...     lambda seed: simulate(experiment_with(seed)).metrics.sigma_d,
+    ...     seeds=range(5),
+    ... )                                                   # doctest: +SKIP
+    """
+    if len(seeds) < 2:
+        raise ConfigurationError("need >= 2 seeds for replication")
+    samples: List[float] = [float(run(seed)) for seed in seeds]
+    return t_confidence_interval(samples, confidence=confidence)

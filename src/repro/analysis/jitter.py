@@ -1,0 +1,60 @@
+"""Jitter-free classification of sweep points.
+
+The paper's criterion: a stream is delivered jitter-free when the mean
+delivery interval matches the 33 ms frame period and the standard
+deviation is (near) zero.  Simulated runs over finite horizons never
+measure an exact zero, so a small tolerance is applied; the default of
+1 ms is far below the multi-millisecond deviations the paper plots for
+jittery configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+NOMINAL_INTERVAL_MS = 33.0
+JITTER_SIGMA_TOLERANCE_MS = 1.0
+JITTER_MEAN_TOLERANCE_MS = 1.0
+
+
+def is_jitter_free_point(
+    d_ms: float,
+    sigma_ms: float,
+    nominal_ms: float = NOMINAL_INTERVAL_MS,
+    sigma_tolerance_ms: float = JITTER_SIGMA_TOLERANCE_MS,
+    mean_tolerance_ms: float = JITTER_MEAN_TOLERANCE_MS,
+) -> bool:
+    """True when (d, sigma_d) meets the jitter-free criterion."""
+    if d_ms != d_ms or sigma_ms != sigma_ms:  # nan: nothing delivered
+        return False
+    return (
+        abs(d_ms - nominal_ms) <= mean_tolerance_ms
+        and sigma_ms <= sigma_tolerance_ms
+    )
+
+
+def max_jitter_free_load(
+    points: Iterable,
+    nominal_ms: float = NOMINAL_INTERVAL_MS,
+    sigma_tolerance_ms: float = JITTER_SIGMA_TOLERANCE_MS,
+) -> Optional[float]:
+    """Largest swept load whose point is jitter-free.
+
+    ``points`` are sweep points with ``x`` (numeric load), ``d`` and
+    ``sigma_d`` attributes (e.g. :class:`repro.experiments.figures.Point`).
+    Returns ``None`` when no point qualifies.  Points above the first
+    jittery load are ignored, so a noisy re-entrant point cannot inflate
+    the answer.
+    """
+    best = None
+    for point in sorted(points, key=lambda p: p.x):
+        if is_jitter_free_point(
+            point.d,
+            point.sigma_d,
+            nominal_ms=nominal_ms,
+            sigma_tolerance_ms=sigma_tolerance_ms,
+        ):
+            best = point.x
+        else:
+            break
+    return best

@@ -1,0 +1,91 @@
+"""Saturation-load search: the router's effective QoS capacity.
+
+The paper summarises each configuration by the largest load it serves
+jitter-free ("70-80% of the physical channel bandwidth").  This module
+finds that boundary by bisection over a user-supplied runner, giving a
+single *effective capacity* number per configuration — handy for
+comparing schedulers (FIFO loses real capacity to burst-induced
+blocking) and for sizing admission-control thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.analysis.jitter import is_jitter_free_point
+from repro.errors import ConfigurationError
+
+#: a runner maps a load to the measured (d_ms, sigma_d_ms)
+LoadRunner = Callable[[float], Tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class SaturationSearch:
+    """Outcome of a jitter-free capacity search."""
+
+    #: largest probed load that was jitter-free (nan if none)
+    capacity: float
+    #: smallest probed load that jittered (nan if none found)
+    first_jittery: float
+    #: every (load, d, sigma_d, jitter_free) probe, in probe order
+    probes: List[Tuple[float, float, float, bool]]
+
+    @property
+    def resolved(self) -> bool:
+        """True when both sides of the boundary were observed."""
+        return self.capacity == self.capacity and (
+            self.first_jittery == self.first_jittery
+        )
+
+
+def find_saturation_load(
+    runner: LoadRunner,
+    low: float = 0.5,
+    high: float = 1.0,
+    tolerance: float = 0.02,
+    sigma_tolerance_ms: float = 1.0,
+    nominal_ms: float = 33.0,
+    max_probes: int = 12,
+) -> SaturationSearch:
+    """Bisect for the largest jitter-free load in ``[low, high]``.
+
+    ``runner(load)`` must return the measured ``(d, sigma_d)`` in ms.
+    The search assumes the jitter-free property is monotone in load
+    (true for every configuration in the paper) and stops when the
+    bracket is narrower than ``tolerance`` or ``max_probes`` runs were
+    spent.
+    """
+    if not 0 < low < high:
+        raise ConfigurationError(f"need 0 < low < high, got [{low}, {high}]")
+    if tolerance <= 0:
+        raise ConfigurationError(f"tolerance must be positive: {tolerance}")
+
+    probes: List[Tuple[float, float, float, bool]] = []
+
+    def probe(load: float) -> bool:
+        d, sigma = runner(load)
+        ok = is_jitter_free_point(
+            d,
+            sigma,
+            nominal_ms=nominal_ms,
+            sigma_tolerance_ms=sigma_tolerance_ms,
+        )
+        probes.append((load, d, sigma, ok))
+        return ok
+
+    nan = float("nan")
+    # Establish the bracket.
+    if not probe(low):
+        return SaturationSearch(capacity=nan, first_jittery=low, probes=probes)
+    if probe(high):
+        return SaturationSearch(capacity=high, first_jittery=nan, probes=probes)
+
+    good, bad = low, high
+    while bad - good > tolerance and len(probes) < max_probes:
+        mid = (good + bad) / 2
+        if probe(mid):
+            good = mid
+        else:
+            bad = mid
+    return SaturationSearch(capacity=good, first_jittery=bad, probes=probes)

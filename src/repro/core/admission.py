@@ -1,0 +1,120 @@
+"""Admission control for real-time streams.
+
+The paper's conclusion sketches the scheme: "Admission control criteria
+... have to consider (for an expected traffic pattern) what is the
+maximum load and proportion of VBR to best-effort traffic that will
+provide statistically acceptable QoS."  The single-switch results put
+that boundary at 70-80% of physical-channel bandwidth for the real-time
+component.
+
+:class:`AdmissionController` implements the utilisation-based test: it
+tracks the reserved rate on every physical channel a stream's path
+crosses (source input link, every inter-router hop, destination output
+link) and admits a stream only if each stays at or below the jitter-safe
+threshold.  It also enforces the VC-capacity constraint of section 4.2.3
+(at most ``threshold / stream_fraction`` concurrent streams per link,
+since a VC's bandwidth must cover the sum of its streams' demands).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import AdmissionError, ConfigurationError
+
+#: the paper's empirical jitter-free operating point (section 6)
+DEFAULT_RT_THRESHOLD = 0.75
+
+ChannelId = Tuple[str, int, int]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of offering one stream to the controller."""
+
+    admitted: bool
+    #: channel that rejected the stream (None when admitted)
+    bottleneck: Tuple[ChannelId, float] = None
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+@dataclass
+class AdmissionController:
+    """Utilisation-based admission control over named channels.
+
+    A *channel* is any bandwidth resource identified by a hashable id —
+    the experiment runner uses ``("host-in", node, 0)``,
+    ``("host-out", node, 0)`` and ``("link", router, port)``.  Rates are
+    fractions of channel bandwidth.
+    """
+
+    threshold: float = DEFAULT_RT_THRESHOLD
+    _reserved: Dict[ChannelId, float] = field(default_factory=dict)
+    _streams: Dict[int, Tuple[float, Tuple[ChannelId, ...]]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if not 0 < self.threshold <= 1:
+            raise ConfigurationError(
+                f"admission threshold must be in (0, 1], got {self.threshold}"
+            )
+
+    def reserved(self, channel: ChannelId) -> float:
+        """Current reserved fraction on ``channel``."""
+        return self._reserved.get(channel, 0.0)
+
+    def would_admit(
+        self, rate_fraction: float, path: Sequence[ChannelId]
+    ) -> AdmissionDecision:
+        """Check a stream without committing it."""
+        if rate_fraction <= 0:
+            raise ConfigurationError(
+                f"stream rate must be positive, got {rate_fraction}"
+            )
+        for channel in path:
+            after = self._reserved.get(channel, 0.0) + rate_fraction
+            if after > self.threshold + 1e-12:
+                return AdmissionDecision(False, (channel, after))
+        return AdmissionDecision(True)
+
+    def admit(
+        self, stream_id: int, rate_fraction: float, path: Sequence[ChannelId]
+    ) -> AdmissionDecision:
+        """Admit a stream, reserving its rate on every path channel."""
+        if stream_id in self._streams:
+            raise AdmissionError(f"stream {stream_id} already admitted")
+        decision = self.would_admit(rate_fraction, path)
+        if not decision:
+            return decision
+        for channel in path:
+            self._reserved[channel] = (
+                self._reserved.get(channel, 0.0) + rate_fraction
+            )
+        self._streams[stream_id] = (rate_fraction, tuple(path))
+        return decision
+
+    def release(self, stream_id: int) -> None:
+        """Release a previously admitted stream's reservations."""
+        try:
+            rate, path = self._streams.pop(stream_id)
+        except KeyError:
+            raise AdmissionError(f"stream {stream_id} was not admitted") from None
+        for channel in path:
+            remaining = self._reserved.get(channel, 0.0) - rate
+            if remaining <= 1e-12:
+                self._reserved.pop(channel, None)
+            else:
+                self._reserved[channel] = remaining
+
+    @property
+    def admitted_streams(self) -> List[int]:
+        """Ids of currently admitted streams."""
+        return list(self._streams)
+
+    def utilization(self) -> Dict[ChannelId, float]:
+        """Snapshot of reserved fractions per channel."""
+        return dict(self._reserved)

@@ -1,0 +1,57 @@
+"""MediaWorm router presets.
+
+The paper's proposal is deliberately minimal: take a conventional
+pipelined wormhole router and swap the rate-agnostic multiplexer
+scheduler (FIFO) for Virtual Clock at the QoS contention point —
+the crossbar input multiplexer for a multiplexed crossbar, the output
+VC multiplexer for a full crossbar.  These helpers capture the two
+configurations the evaluation compares.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.schedulers import SchedulingPolicy
+from repro.router.config import CrossbarKind, RouterConfig
+
+
+def mediaworm_router_config(
+    num_ports: int = 8,
+    vcs_per_pc: int = 16,
+    crossbar: str = CrossbarKind.MULTIPLEXED,
+    rt_vc_count: Optional[int] = None,
+    flit_buffer_depth: int = 8,
+    **overrides,
+) -> RouterConfig:
+    """The MediaWorm router: Virtual Clock at the QoS contention point."""
+    return RouterConfig(
+        num_ports=num_ports,
+        vcs_per_pc=vcs_per_pc,
+        crossbar=crossbar,
+        qos_policy=SchedulingPolicy.VIRTUAL_CLOCK,
+        rt_vc_count=rt_vc_count,
+        flit_buffer_depth=flit_buffer_depth,
+        **overrides,
+    )
+
+
+def vanilla_router_config(
+    num_ports: int = 8,
+    vcs_per_pc: int = 16,
+    crossbar: str = CrossbarKind.MULTIPLEXED,
+    rt_vc_count: Optional[int] = None,
+    flit_buffer_depth: int = 8,
+    scheduler: str = SchedulingPolicy.FIFO,
+    **overrides,
+) -> RouterConfig:
+    """A conventional wormhole router (FIFO or round-robin scheduling)."""
+    return RouterConfig(
+        num_ports=num_ports,
+        vcs_per_pc=vcs_per_pc,
+        crossbar=crossbar,
+        qos_policy=scheduler,
+        rt_vc_count=rt_vc_count,
+        flit_buffer_depth=flit_buffer_depth,
+        **overrides,
+    )

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an internally inconsistent state."""
+
+
+class RoutingError(SimulationError):
+    """A message could not be routed (unknown destination, bad port)."""
+
+
+class FlowControlError(SimulationError):
+    """A credit or buffer invariant was violated."""
+
+
+class AdmissionError(ReproError):
+    """A stream was offered to a full admission controller."""

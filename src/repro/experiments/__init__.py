@@ -1,0 +1,35 @@
+"""Experiment harness: one runner per figure/table of the paper.
+
+``simulate_single_switch`` / ``simulate_fat_mesh`` / ``simulate_pcs``
+run one configuration each; :mod:`repro.experiments.figures` and
+:mod:`repro.experiments.tables` wrap them into the sweeps that
+regenerate Figures 3-9 and Tables 2-3.
+"""
+
+from repro.experiments.config import (
+    FatMeshExperiment,
+    FatTreeExperiment,
+    PCSExperiment,
+    SingleSwitchExperiment,
+)
+from repro.experiments.runner import (
+    ExperimentResult,
+    PCSResult,
+    simulate_fat_mesh,
+    simulate_fat_tree,
+    simulate_pcs,
+    simulate_single_switch,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "FatMeshExperiment",
+    "FatTreeExperiment",
+    "PCSExperiment",
+    "PCSResult",
+    "SingleSwitchExperiment",
+    "simulate_fat_mesh",
+    "simulate_fat_tree",
+    "simulate_pcs",
+    "simulate_single_switch",
+]

@@ -1,0 +1,162 @@
+"""Command-line entry point: ``mediaworm``.
+
+Examples::
+
+    mediaworm list
+    mediaworm run fig3 --profile quick
+    mediaworm run table3
+    mediaworm all --profile default
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.figures import FIGURES, PROFILES, run_mixed_grid
+from repro.experiments.report import (
+    figure_to_text,
+    table2_to_text,
+    table3_to_text,
+)
+from repro.experiments.tables import TABLES, run_table2, run_table3
+
+_DESCRIPTIONS = {
+    "fig3": "Virtual Clock vs FIFO (16 VCs, 80:20 mix)",
+    "fig4": "CBR vs VBR traffic (no best-effort)",
+    "fig5": "Mixed traffic ratios vs load",
+    "fig6": "VC count and crossbar capability",
+    "fig7": "Effect of message size on jitter",
+    "fig8": "MediaWorm vs PCS router",
+    "fig9": "2x2 fat-mesh performance",
+    "table2": "Best-effort latency per mix and load",
+    "table3": "PCS connection drop accounting",
+}
+
+
+def _run_one(
+    name: str,
+    profile: str,
+    plot: bool = False,
+    json_path: str = None,
+    check: bool = False,
+) -> str:
+    if name == "table2":
+        table = run_table2(profile)
+        _maybe_save(json_path, table)
+        return table2_to_text(table)
+    if name == "table3":
+        table = run_table3(profile)
+        _maybe_save(json_path, table)
+        return table3_to_text(table)
+    if name == "fig5":
+        grid = run_mixed_grid(profile)
+        fig = FIGURES["fig5"](profile, grid=grid)
+        _maybe_save(json_path, fig)
+        text = figure_to_text(fig) + "\n\n" + table2_to_text(
+            run_table2(profile, grid=grid)
+        )
+        return text + ("\n\n" + _plot(fig) if plot else "")
+    runner = FIGURES.get(name)
+    if runner is None:
+        raise SystemExit(f"unknown experiment {name!r}; try 'mediaworm list'")
+    show_latency = name in ("fig9",)
+    fig = runner(profile)
+    _maybe_save(json_path, fig)
+    text = figure_to_text(fig, show_be_latency=show_latency)
+    if plot:
+        text += "\n\n" + _plot(fig)
+    if check:
+        text += "\n\n" + _check(fig)
+    return text
+
+
+def _maybe_save(json_path, result) -> None:
+    if json_path:
+        from repro.experiments.export import save_result
+
+        save_result(json_path, result)
+
+
+def _plot(fig) -> str:
+    from repro.analysis.ascii_plot import figure_plot
+
+    return figure_plot(fig, metric="sigma_d")
+
+
+def _check(fig) -> str:
+    from repro.experiments.validation import check_claims, claims_to_text
+
+    return "paper claims:\n" + claims_to_text(check_claims(fig))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI dispatcher (installed as the ``mediaworm`` script)."""
+    parser = argparse.ArgumentParser(
+        prog="mediaworm",
+        description="Reproduce the MediaWorm (HPCA 2000) evaluation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="fig3..fig9, table2, table3")
+    run_parser.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default="default",
+        help="workload scale / horizon preset",
+    )
+    run_parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="append a terminal plot of sigma_d",
+    )
+    run_parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the result as JSON",
+    )
+    run_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the paper's qualitative claims against the result",
+    )
+
+    all_parser = sub.add_parser("all", help="run every figure and table")
+    all_parser.add_argument(
+        "--profile", choices=sorted(PROFILES), default="default"
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name, desc in _DESCRIPTIONS.items():
+            print(f"{name:8s} {desc}")
+        return 0
+
+    names = (
+        [args.experiment]
+        if args.command == "run"
+        else ["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table3"]
+    )
+    plot = getattr(args, "plot", False)
+    json_path = getattr(args, "json", None)
+    check = getattr(args, "check", False)
+    for name in names:
+        started = time.perf_counter()
+        text = _run_one(
+            name, args.profile, plot=plot, json_path=json_path, check=check
+        )
+        elapsed = time.perf_counter() - started
+        print(text)
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Runners: one function per experiment type.
+
+Each runner assembles the network, attaches the workload and metrics,
+runs warmup + measurement, audits flit conservation, and returns a
+result record with the paper's output parameters (``d``, ``sigma_d``,
+best-effort latency) in paper units.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.network.network import Network
+from repro.network.topology import fat_mesh, fat_tree, single_switch
+from repro.pcs.connection import ConnectionStats
+from repro.pcs.simulator import PCSSimulator
+from repro.sim.rng import RngStreams
+from repro.traffic.mix import Workload, build_workload
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one wormhole-network run."""
+
+    experiment: object
+    metrics: RunMetrics
+    workload: Workload
+    cycles_run: int
+    flits_injected: int
+    flits_ejected: int
+    wall_seconds: float
+
+    @property
+    def achieved_load(self) -> float:
+        """Offered input-link load after stream-count rounding."""
+        return self.workload.achieved_load
+
+
+@dataclass
+class PCSResult:
+    """Outcome of one PCS run (metrics + Table 3 accounting)."""
+
+    experiment: object
+    metrics: RunMetrics
+    connections: ConnectionStats
+    offered_streams: int
+    established_streams: int
+    cycles_run: int
+    wall_seconds: float
+
+
+def _run_network(experiment, network: Network, collector: MetricsCollector):
+    started = time.perf_counter()
+    network.run(experiment.total_cycles)
+    network.check_conservation()
+    return time.perf_counter() - started
+
+
+def simulate_single_switch(experiment) -> ExperimentResult:
+    """Run one single-switch configuration (sections 5.1-5.6)."""
+    collector = MetricsCollector(
+        experiment.timebase, warmup=experiment.warmup_cycles
+    )
+    topology = single_switch(experiment.num_ports)
+    config = experiment.router_config(experiment.num_ports)
+    network = Network(topology, config, on_message=collector.on_message)
+    workload = build_workload(
+        network, experiment.workload_config(), RngStreams(experiment.seed)
+    )
+    wall = _run_network(experiment, network, collector)
+    return ExperimentResult(
+        experiment=experiment,
+        metrics=collector.snapshot(),
+        workload=workload,
+        cycles_run=network.clock,
+        flits_injected=network.flits_injected,
+        flits_ejected=network.flits_ejected,
+        wall_seconds=wall,
+    )
+
+
+def simulate_fat_mesh(experiment) -> ExperimentResult:
+    """Run one fat-mesh configuration (section 5.7)."""
+    topology = fat_mesh(
+        rows=experiment.rows,
+        cols=experiment.cols,
+        hosts_per_router=experiment.hosts_per_router,
+        fat_width=experiment.fat_width,
+    )
+    collector = MetricsCollector(
+        experiment.timebase, warmup=experiment.warmup_cycles
+    )
+    config = experiment.router_config(topology.ports_per_router)
+    network = Network(topology, config, on_message=collector.on_message)
+    workload = build_workload(
+        network, experiment.workload_config(), RngStreams(experiment.seed)
+    )
+    wall = _run_network(experiment, network, collector)
+    return ExperimentResult(
+        experiment=experiment,
+        metrics=collector.snapshot(),
+        workload=workload,
+        cycles_run=network.clock,
+        flits_injected=network.flits_injected,
+        flits_ejected=network.flits_ejected,
+        wall_seconds=wall,
+    )
+
+
+def simulate_fat_tree(experiment) -> ExperimentResult:
+    """Run one fat-tree configuration (a beyond-the-paper topology)."""
+    topology = fat_tree(
+        leaves=experiment.leaves,
+        spines=experiment.spines,
+        hosts_per_leaf=experiment.hosts_per_leaf,
+        fat_width=experiment.fat_width,
+    )
+    collector = MetricsCollector(
+        experiment.timebase, warmup=experiment.warmup_cycles
+    )
+    config = experiment.router_config(topology.ports_per_router)
+    network = Network(topology, config, on_message=collector.on_message)
+    workload = build_workload(
+        network, experiment.workload_config(), RngStreams(experiment.seed)
+    )
+    wall = _run_network(experiment, network, collector)
+    return ExperimentResult(
+        experiment=experiment,
+        metrics=collector.snapshot(),
+        workload=workload,
+        cycles_run=network.clock,
+        flits_injected=network.flits_injected,
+        flits_ejected=network.flits_ejected,
+        wall_seconds=wall,
+    )
+
+
+def simulate_pcs(experiment) -> PCSResult:
+    """Run one PCS configuration (section 5.6 / Table 3)."""
+    collector = MetricsCollector(
+        experiment.timebase, warmup=experiment.warmup_cycles
+    )
+    started = time.perf_counter()
+    simulator = PCSSimulator(experiment, collector)
+    simulator.run()
+    simulator.network.check_conservation()
+    wall = time.perf_counter() - started
+    stats = simulator.manager.stats
+    return PCSResult(
+        experiment=experiment,
+        metrics=collector.snapshot(),
+        connections=stats,
+        offered_streams=simulator.offered_streams,
+        established_streams=simulator.manager.established_circuits,
+        cycles_run=simulator.network.clock,
+        wall_seconds=wall,
+    )

@@ -1,0 +1,98 @@
+"""Metric collection facade wired into the network's delivery callback."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.metrics.delivery import FrameDeliveryTracker
+from repro.metrics.latency import LatencyTracker
+from repro.router.flit import Message
+from repro.sim.units import TimeBase
+
+
+class MetricsCollector:
+    """Dispatches delivered messages to the right tracker.
+
+    Attach via ``Network(..., on_message=collector.on_message)`` or by
+    passing the collector to the experiment runner.  ``warmup`` is in
+    cycles; deliveries before it are ignored (delivery intervals need
+    one pre-warmup completion per stream to anchor the first interval,
+    which the tracker handles internally).
+    """
+
+    def __init__(self, timebase: TimeBase, warmup: int = 0) -> None:
+        self.timebase = timebase
+        self.warmup = warmup
+        self.delivery = FrameDeliveryTracker(warmup=warmup)
+        self.latency = LatencyTracker(warmup=warmup)
+
+    def on_message(self, msg: Message, clock: int) -> None:
+        """Network delivery callback."""
+        if msg.is_real_time:
+            self.delivery.on_message(msg, clock)
+        else:
+            self.latency.on_message(msg, clock)
+
+    def snapshot(self) -> "RunMetrics":
+        """Freeze the current statistics into a result record."""
+        tb = self.timebase
+        raw_us = tb.link.cycles_to_us  # no workload unscaling (see below)
+        return RunMetrics(
+            mean_delivery_interval_ms=tb.report_ms(self.delivery.mean_interval),
+            std_delivery_interval_ms=tb.report_ms(self.delivery.std_interval),
+            frames_delivered=self.delivery.frames_delivered,
+            interval_count=self.delivery.interval_count,
+            be_latency_us=raw_us(self.latency.mean_latency),
+            be_latency_us_paper_equivalent=tb.report_us(
+                self.latency.mean_latency
+            ),
+            be_latency_std_us=raw_us(self.latency.std_latency),
+            be_message_count=self.latency.count,
+        )
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """One run's headline numbers, in the paper's units.
+
+    Delivery intervals are reported in *paper-equivalent* milliseconds:
+    measured cycles are multiplied by the workload scale factor before
+    converting, so a jitter-free run reports ~33 ms at any scale.
+
+    Best-effort latency is reported two ways: ``be_latency_us`` converts
+    measured cycles directly (the 20-flit message itself is not scaled),
+    while ``be_latency_us_paper_equivalent`` applies the workload scale,
+    which upper-bounds the queueing component at paper timescales.
+    """
+
+    mean_delivery_interval_ms: float
+    std_delivery_interval_ms: float
+    frames_delivered: int
+    interval_count: int
+    be_latency_us: float
+    be_latency_us_paper_equivalent: float
+    be_latency_std_us: float
+    be_message_count: int
+
+    @property
+    def d(self) -> float:
+        """The paper's ``d`` (mean delivery interval, ms)."""
+        return self.mean_delivery_interval_ms
+
+    @property
+    def sigma_d(self) -> float:
+        """The paper's ``sigma_d`` (delivery-interval std, ms)."""
+        return self.std_delivery_interval_ms
+
+    def is_jitter_free(
+        self,
+        nominal_ms: float = 33.0,
+        d_tolerance_ms: float = 1.0,
+        sigma_tolerance_ms: float = 1.0,
+    ) -> bool:
+        """Paper-style jitter-free check: d ~ 33 ms and sigma_d ~ 0."""
+        return (
+            abs(self.mean_delivery_interval_ms - nominal_ms) <= d_tolerance_ms
+            and self.std_delivery_interval_ms <= sigma_tolerance_ms
+        )

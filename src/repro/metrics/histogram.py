@@ -1,0 +1,106 @@
+"""Fixed-bin histograms for delivery intervals and latencies.
+
+The paper reports means and standard deviations; a histogram of the
+delivery intervals shows *where* the jitter lives (a tight spike at
+33 ms for a healthy run, a heavy right tail once the router saturates).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class Histogram:
+    """Streaming fixed-width histogram with under/overflow bins."""
+
+    def __init__(self, low: float, high: float, bins: int) -> None:
+        if bins < 1:
+            raise ConfigurationError(f"need >= 1 bin, got {bins}")
+        if not low < high:
+            raise ConfigurationError(
+                f"need low < high, got [{low}, {high})"
+            )
+        self.low = low
+        self.high = high
+        self.bins = bins
+        self._width = (high - low) / bins
+        self.counts: List[int] = [0] * bins
+        self.underflow = 0
+        self.overflow = 0
+        self.total = 0
+
+    def add(self, value: float) -> None:
+        """Count one observation (nan is ignored)."""
+        if value != value:
+            return
+        self.total += 1
+        if value < self.low:
+            self.underflow += 1
+            return
+        if value >= self.high:
+            self.overflow += 1
+            return
+        self.counts[int((value - self.low) / self._width)] += 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def bin_edges(self, index: int) -> Tuple[float, float]:
+        """The ``[low, high)`` edges of bin ``index``."""
+        if not 0 <= index < self.bins:
+            raise ConfigurationError(f"bin index {index} out of range")
+        return (
+            self.low + index * self._width,
+            self.low + (index + 1) * self._width,
+        )
+
+    def mode_bin(self) -> int:
+        """Index of the fullest bin."""
+        return max(range(self.bins), key=lambda i: self.counts[i])
+
+    def fraction_in(self, low: float, high: float) -> float:
+        """Fraction of all observations falling in ``[low, high)``."""
+        if self.total == 0:
+            return float("nan")
+        inside = 0
+        if low <= self.low:
+            inside += self.underflow if low < self.low else 0
+        for index in range(self.bins):
+            edge_low, edge_high = self.bin_edges(index)
+            if edge_low >= low and edge_high <= high:
+                inside += self.counts[index]
+        if high > self.high:
+            inside += self.overflow
+        return inside / self.total
+
+    def render(self, width: int = 40) -> str:
+        """Multi-line bar rendering, one row per bin."""
+        peak = max(self.counts) or 1
+        lines = []
+        if self.underflow:
+            lines.append(f"  < {self.low:10.3f} | {self.underflow}")
+        for index, count in enumerate(self.counts):
+            low, high = self.bin_edges(index)
+            bar = "#" * int(math.ceil(width * count / peak)) if count else ""
+            lines.append(f"[{low:9.3f},{high:9.3f}) |{bar} {count}")
+        if self.overflow:
+            lines.append(f" >= {self.high:10.3f} | {self.overflow}")
+        return "\n".join(lines)
+
+
+def interval_histogram(
+    intervals_ms: Iterable[float],
+    nominal_ms: float = 33.0,
+    span_ms: float = 10.0,
+    bins: int = 20,
+) -> Histogram:
+    """Histogram of delivery intervals centred on the nominal period."""
+    histogram = Histogram(
+        low=nominal_ms - span_ms, high=nominal_ms + span_ms, bins=bins
+    )
+    histogram.extend(intervals_ms)
+    return histogram

@@ -1,0 +1,32 @@
+"""Network layer: links, host interfaces, topologies, the simulator.
+
+This package assembles routers (:mod:`repro.router`) into systems — a
+single switch with one host per port, or the paper's 2x2 fat mesh — and
+runs the cycle loop that moves flits between them.
+"""
+
+from repro.network.interface import HostInterface, HostSink
+from repro.network.link import Link
+from repro.network.network import Network
+from repro.network.probe import LinkUtilization, UtilizationProbe
+from repro.network.topology import (
+    Topology,
+    fat_mesh,
+    fat_mesh_2x2,
+    fat_tree,
+    single_switch,
+)
+
+__all__ = [
+    "HostInterface",
+    "HostSink",
+    "Link",
+    "LinkUtilization",
+    "Network",
+    "Topology",
+    "UtilizationProbe",
+    "fat_mesh",
+    "fat_mesh_2x2",
+    "fat_tree",
+    "single_switch",
+]

@@ -1,0 +1,107 @@
+"""Physical channels between router stages.
+
+A link carries at most one flit per cycle (that is the definition of a
+router cycle) with a fixed pipeline latency.  The default latency of
+two cycles models the wire plus the downstream stage-1 synchroniser /
+decoder of the PROUD pipeline, giving the paper's per-hop costs: five
+stages for a header flit, three for a body flit (which bypasses routing
+and arbitration).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.errors import FlowControlError
+from repro.router.flit import Message
+
+#: default link pipeline latency in cycles (wire + stage-1 sync/decode)
+DEFAULT_LINK_LATENCY = 2
+
+
+class Link:
+    """Unidirectional flit pipeline from an output port to a consumer.
+
+    The consumer is either a router input port (``dest_router`` +
+    ``dest_port``) or a host sink (ejection).  ``deliver_due`` is called
+    once per cycle by the network loop before routers step, so a flit
+    sent at cycle ``t`` becomes visible downstream at ``t + latency``.
+    """
+
+    __slots__ = ("latency", "dest_router", "dest_port", "sink", "pending")
+
+    def __init__(
+        self,
+        dest_router=None,
+        dest_port: int = -1,
+        sink=None,
+        latency: int = DEFAULT_LINK_LATENCY,
+    ) -> None:
+        if (dest_router is None) == (sink is None):
+            raise FlowControlError(
+                "a link needs exactly one consumer: a router port or a sink"
+            )
+        if latency < 1:
+            raise FlowControlError(f"link latency must be >= 1, got {latency}")
+        self.latency = latency
+        self.dest_router = dest_router
+        self.dest_port = dest_port
+        self.sink = sink
+        #: in-flight flits: (arrival_cycle, msg, flit_index, vc_index)
+        self.pending: Deque[Tuple[int, Message, int, int]] = deque()
+
+    def send(self, clock: int, msg: Message, flit_index: int, vc_index: int) -> None:
+        """Put one flit on the wire at cycle ``clock``."""
+        self.pending.append((clock + self.latency, msg, flit_index, vc_index))
+
+    def deliver_due(self, clock: int) -> int:
+        """Hand over every flit whose latency has elapsed.
+
+        Returns the number of flits delivered.
+        """
+        delivered = 0
+        pending = self.pending
+        router = self.dest_router
+        if router is not None:
+            port = self.dest_port
+            while pending and pending[0][0] <= clock:
+                _, msg, flit_index, vc_index = pending.popleft()
+                router.accept_flit(clock, port, vc_index, msg, flit_index)
+                delivered += 1
+        else:
+            sink = self.sink
+            while pending and pending[0][0] <= clock:
+                _, msg, flit_index, vc_index = pending.popleft()
+                sink.eject(clock, msg, flit_index)
+                delivered += 1
+        return delivered
+
+    @property
+    def in_flight(self) -> int:
+        """Flits currently on the wire."""
+        return len(self.pending)
+
+    def purge_message(self, msg: Message) -> "list[int]":
+        """Drop a killed message's in-flight flits (preemption support).
+
+        Returns the VC index of every dropped flit, so the caller can
+        hand the credits they consumed back to the sender.
+        """
+        if not self.pending:
+            return []
+        kept = deque()
+        dropped_vcs = []
+        for entry in self.pending:
+            if entry[1] is msg:
+                dropped_vcs.append(entry[3])
+            else:
+                kept.append(entry)
+        self.pending = kept
+        return dropped_vcs
+
+    def next_arrival(self) -> Optional[int]:
+        """Cycle of the earliest pending delivery, or ``None``."""
+        if not self.pending:
+            return None
+        return self.pending[0][0]

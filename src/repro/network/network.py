@@ -1,0 +1,326 @@
+"""The network simulator: wired routers + hosts + the cycle loop.
+
+``Network`` owns everything that moves flits: routers, links, host
+interfaces and sinks, the injection event heap, and the global cycle
+counter.  The loop advances cycle by cycle while any flit is alive and
+jumps the clock across idle gaps (sparse injections at low load), so
+simulation cost tracks traffic, not wall-clock span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.network.interface import HostInterface, HostSink
+from repro.network.link import DEFAULT_LINK_LATENCY, Link
+from repro.network.topology import Topology
+from repro.router.config import RouterConfig
+from repro.router.flit import Message
+from repro.router.router import WormholeRouter
+from repro.sim.events import EventHeap
+
+
+class Network:
+    """A wormhole network instance ready to simulate."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: RouterConfig,
+        link_latency: int = DEFAULT_LINK_LATENCY,
+        on_message: Optional[Callable[[Message, int], None]] = None,
+    ) -> None:
+        self.topology = topology
+        if config.num_ports != topology.ports_per_router:
+            config = replace(config, num_ports=topology.ports_per_router)
+        self.config = config
+        self.clock = 0
+        self.events = EventHeap()
+        self._flits_in_flight = 0
+        self.flits_injected = 0
+        self.flits_ejected = 0
+        self.flits_dropped = 0
+        self.messages_delivered = 0
+        self.preemptions = 0
+        #: cycles a preempted message waits before retransmission
+        self.preemption_backoff = 64
+        self._on_message = on_message
+
+        self.routers: List[WormholeRouter] = [
+            WormholeRouter(rid, config, topology.routing)
+            for rid in range(topology.num_routers)
+        ]
+        self.links: List[Link] = []
+        self.interfaces: Dict[int, HostInterface] = {}
+        self.sinks: Dict[int, HostSink] = {}
+
+        self._wire_hosts(link_latency)
+        self._wire_channels(link_latency)
+        self._check_wiring()
+        if config.preemption:
+            for router in self.routers:
+                router.on_preempt = self._preempt
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def _wire_hosts(self, latency: int) -> None:
+        depth = self.config.flit_buffer_depth
+        for node, rid, port in self.topology.hosts:
+            router = self.routers[rid]
+            # Injection: NI -> router input port.
+            in_link = Link(dest_router=router, dest_port=port, latency=latency)
+            ni = HostInterface(
+                node_id=node,
+                vcs_per_pc=self.config.vcs_per_pc,
+                buffer_depth=depth,
+                policy=self.config.ni_policy,
+                link=in_link,
+            )
+            for vc in router.inputs[port]:
+                vc.credit_sink = ni.vcs[vc.index]
+            # Ejection: router output port -> host sink.
+            sink = HostSink(
+                node_id=node,
+                on_message=self._message_delivered,
+                on_flit=self._flit_ejected,
+            )
+            out_link = Link(sink=sink, latency=latency)
+            router.wire_output(port, out_link, host=True)
+            # Host ports have no downstream router buffer; the sink
+            # consumes at link rate, so output VCs are never credit
+            # limited there (downstream stays None).
+            self.links.extend((in_link, out_link))
+            self.interfaces[node] = ni
+            self.sinks[node] = sink
+
+    def _wire_channels(self, latency: int) -> None:
+        depth = self.config.flit_buffer_depth
+        for src_r, src_p, dst_r, dst_p in self.topology.channels:
+            src = self.routers[src_r]
+            dst = self.routers[dst_r]
+            link = Link(dest_router=dst, dest_port=dst_p, latency=latency)
+            src.wire_output(src_p, link, host=False)
+            for vc_index in range(self.config.vcs_per_pc):
+                ovc = src.outputs[src_p][vc_index]
+                ivc = dst.inputs[dst_p][vc_index]
+                ovc.downstream = ivc
+                ovc.credits = depth
+                ivc.credit_sink = ovc
+            self.links.append(link)
+
+    def _check_wiring(self) -> None:
+        host_ports = {(rid, port) for _, rid, port in self.topology.hosts}
+        channel_out = {(r, p) for r, p, _, _ in self.topology.channels}
+        for router in self.routers:
+            for port, link in enumerate(router.out_links):
+                wired = (router.router_id, port) in host_ports or (
+                    router.router_id,
+                    port,
+                ) in channel_out
+                if wired and link is None:
+                    raise ConfigurationError(
+                        f"router {router.router_id} port {port} left unwired"
+                    )
+
+    # ------------------------------------------------------------------
+    # injection API
+
+    def inject_now(self, msg: Message) -> None:
+        """Hand a message to its source NI at the current cycle."""
+        ni = self.interfaces.get(msg.src_node)
+        if ni is None:
+            raise ConfigurationError(f"unknown source node {msg.src_node}")
+        if msg.dst_node not in self.sinks:
+            raise ConfigurationError(f"unknown destination node {msg.dst_node}")
+        ni.inject(self.clock, msg)
+        self._flits_in_flight += msg.size
+        self.flits_injected += msg.size
+
+    def schedule_message(self, time: int, msg: Message) -> None:
+        """Schedule a message injection at an absolute cycle."""
+        if time < self.clock:
+            raise SimulationError(
+                f"cannot schedule at {time}; clock is already {self.clock}"
+            )
+        self.events.schedule(time, lambda m=msg: self.inject_now(m))
+
+    def schedule_call(self, time: int, fn: Callable[[], None]) -> None:
+        """Schedule an arbitrary callback (used by traffic sources)."""
+        if time < self.clock:
+            raise SimulationError(
+                f"cannot schedule at {time}; clock is already {self.clock}"
+            )
+        self.events.schedule(time, fn)
+
+    # ------------------------------------------------------------------
+    # preemption (kill and retransmit)
+
+    def kill_message(self, msg: Message) -> int:
+        """Purge a message's undelivered flits everywhere it may live.
+
+        Returns the number of flits dropped.  The message is marked
+        ``killed`` so nothing re-buffers it; the caller decides whether
+        to retransmit (see :meth:`_preempt`).
+        """
+        if msg.killed:
+            raise SimulationError(f"message {msg.msg_id} already killed")
+        if msg.deliver_time >= 0:
+            raise SimulationError(
+                f"message {msg.msg_id} was already delivered"
+            )
+        msg.killed = True
+        dropped = 0
+        ni = self.interfaces.get(msg.src_node)
+        if ni is not None:
+            dropped += ni.purge_message(msg)
+        for link in self.links:
+            dropped_vcs = link.purge_message(msg)
+            dropped += len(dropped_vcs)
+            # flits on a router-bound wire consumed a credit they will
+            # never occupy; hand each back to the sender-side VC (the
+            # NI VC for host links, the upstream OutputVC for
+            # inter-router wires — both are the input VC's credit sink)
+            if dropped_vcs and link.dest_router is not None:
+                for vc_index in dropped_vcs:
+                    sender = link.dest_router.inputs[link.dest_port][
+                        vc_index
+                    ].credit_sink
+                    if sender is not None:
+                        sender.credits += 1
+        for router in self.routers:
+            dropped += router.purge_message(msg)
+        self._flits_in_flight -= dropped
+        self.flits_dropped += dropped
+        return dropped
+
+    def _preempt(self, victim: Message) -> None:
+        """Router hook: kill ``victim`` and schedule its retransmission."""
+        self.kill_message(victim)
+        self.preemptions += 1
+        clone = Message(
+            src_node=victim.src_node,
+            dst_node=victim.dst_node,
+            size=victim.size,
+            vtick=victim.vtick,
+            traffic_class=victim.traffic_class,
+            stream_id=victim.stream_id,
+            frame_id=victim.frame_id,
+            frame_messages=victim.frame_messages,
+            src_vc=victim.src_vc,
+            dst_vc=victim.dst_vc,
+        )
+        self.events.schedule(
+            self.clock + self.preemption_backoff,
+            lambda m=clone: self.inject_now(m),
+        )
+
+    # ------------------------------------------------------------------
+    # bookkeeping callbacks
+
+    def _flit_ejected(self, count: int) -> None:
+        self._flits_in_flight -= count
+        self.flits_ejected += count
+
+    def _message_delivered(self, msg: Message, clock: int) -> None:
+        self.messages_delivered += 1
+        if self._on_message is not None:
+            self._on_message(msg, clock)
+
+    # ------------------------------------------------------------------
+    # the cycle loop
+
+    def run(self, until: int) -> None:
+        """Advance the simulation to cycle ``until``."""
+        clock = self.clock
+        events = self.events
+        links = self.links
+        interfaces = list(self.interfaces.values())
+        routers = self.routers
+        while clock < until:
+            if self._flits_in_flight == 0:
+                nxt = events.next_time()
+                if nxt is None:
+                    clock = until
+                    break
+                if nxt > clock:
+                    clock = min(nxt, until)
+                    if clock >= until:
+                        break
+            self.clock = clock
+            events.fire_due(clock)
+            for link in links:
+                if link.pending:
+                    link.deliver_due(clock)
+            for ni in interfaces:
+                ni.step(clock)
+            for router in routers:
+                router.step(clock)
+            clock += 1
+        self.clock = clock
+
+    def run_until_drained(
+        self, max_extra: int = 10_000_000, drain_events: bool = False
+    ) -> None:
+        """Run until no flit remains in the network (bounded).
+
+        By default pending *future* events (e.g. a stream's next frame)
+        do not count as undrained — the criterion is that every flit
+        already offered has reached its destination.  With
+        ``drain_events=True`` the clock also chases scheduled events
+        until the heap is empty, which is only sensible for workloads
+        with a finite injection schedule.
+        """
+        deadline = self.clock + max_extra
+        while self.clock < deadline:
+            if self._flits_in_flight == 0:
+                next_event = self.events.next_time() if drain_events else None
+                if next_event is None:
+                    return
+                self.run(min(deadline, next_event + 1))
+                continue
+            self.run(min(deadline, self.clock + 4096))
+        raise SimulationError(
+            f"network failed to drain within {max_extra} extra cycles "
+            f"({self._flits_in_flight} flits still in flight)"
+        )
+
+    # ------------------------------------------------------------------
+    # audit helpers
+
+    @property
+    def flits_in_flight(self) -> int:
+        """Flits injected but not yet ejected."""
+        return self._flits_in_flight
+
+    def buffered_flits(self) -> int:
+        """Flits held anywhere in the system right now (audit)."""
+        total = sum(r.buffered_flits() for r in self.routers)
+        total += sum(link.in_flight for link in self.links)
+        total += sum(ni.backlog_flits for ni in self.interfaces.values())
+        return total
+
+    def check_conservation(self) -> None:
+        """Raise unless injected == ejected + buffered + dropped."""
+        buffered = self.buffered_flits()
+        if self.flits_injected != (
+            self.flits_ejected + buffered + self.flits_dropped
+        ):
+            raise SimulationError(
+                f"flit conservation violated: injected={self.flits_injected} "
+                f"ejected={self.flits_ejected} buffered={buffered} "
+                f"dropped={self.flits_dropped}"
+            )
+        if self._flits_in_flight != buffered:
+            raise SimulationError(
+                f"in-flight counter drifted: counter={self._flits_in_flight} "
+                f"actual={buffered}"
+            )
+
+    def check_invariants(self) -> None:
+        """Validate router buffer bookkeeping everywhere (test hook)."""
+        for router in self.routers:
+            router.check_invariants()
+        self.check_conservation()

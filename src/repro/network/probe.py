@@ -1,0 +1,107 @@
+"""Link utilisation probing.
+
+Every router counts the flits it puts on each output link
+(:attr:`WormholeRouter.out_flits`); this module turns those counters
+into utilisation fractions and answers the questions the fat-mesh study
+raises — is the load balanced across the two physical links of a fat
+pair ("a message can use any one of the two links ... based on the
+current load"), and which links run hot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.network.network import Network
+
+
+@dataclass(frozen=True)
+class LinkUtilization:
+    """Utilisation of one output link over a measurement window."""
+
+    router_id: int
+    port: int
+    flits: int
+    cycles: int
+    is_host_port: bool
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of cycles the link carried a flit."""
+        if self.cycles <= 0:
+            return float("nan")
+        return self.flits / self.cycles
+
+
+class UtilizationProbe:
+    """Snapshot-based utilisation measurement over a network.
+
+    >>> probe = UtilizationProbe(network)      # doctest: +SKIP
+    ... network.run(until)
+    ... for link in probe.measure():
+    ...     print(link.router_id, link.port, link.utilization)
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self._start_cycle = network.clock
+        self._baseline: Dict[Tuple[int, int], int] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        """Restart the measurement window at the current cycle."""
+        self._start_cycle = self.network.clock
+        self._baseline = {
+            (router.router_id, port): count
+            for router in self.network.routers
+            for port, count in enumerate(router.out_flits)
+        }
+
+    def measure(self) -> List[LinkUtilization]:
+        """Per-link utilisation since the last ``reset``."""
+        cycles = self.network.clock - self._start_cycle
+        results = []
+        for router in self.network.routers:
+            for port, count in enumerate(router.out_flits):
+                baseline = self._baseline.get((router.router_id, port), 0)
+                results.append(
+                    LinkUtilization(
+                        router_id=router.router_id,
+                        port=port,
+                        flits=count - baseline,
+                        cycles=cycles,
+                        is_host_port=router.is_host_port[port],
+                    )
+                )
+        return results
+
+    def fat_group_balance(
+        self, router_id: int, ports: Tuple[int, ...]
+    ) -> float:
+        """Load-balance ratio (min/max flits) across a fat-link group.
+
+        1.0 is a perfect split; values near 0 mean one link carried
+        everything.  Returns nan when the group carried no flits.
+        """
+        if len(ports) < 2:
+            raise ConfigurationError(
+                f"a fat group needs >= 2 ports, got {ports!r}"
+            )
+        by_port = {
+            (u.router_id, u.port): u.flits for u in self.measure()
+        }
+        try:
+            counts = [by_port[(router_id, port)] for port in ports]
+        except KeyError as exc:
+            raise ConfigurationError(f"unknown port in group: {exc}") from None
+        if max(counts) == 0:
+            return float("nan")
+        return min(counts) / max(counts)
+
+    def hottest(self, count: int = 5) -> List[LinkUtilization]:
+        """The ``count`` busiest links of the window."""
+        return sorted(
+            self.measure(), key=lambda u: u.flits, reverse=True
+        )[:count]

@@ -1,0 +1,294 @@
+"""Topology descriptions: single switch, fat meshes.
+
+A :class:`Topology` is pure data: where hosts attach, which router
+ports face which other router ports, and the routing function.  The
+:class:`~repro.network.network.Network` builder turns it into wired
+routers, links, and host interfaces.
+
+The paper evaluates an 8-port single switch (sections 5.1-5.6) and a
+2x2 fat mesh (section 5.7): four 8-port switches, four hosts per
+switch, and **two** physical links between each adjacent pair so the
+inter-switch bandwidth matches the multi-endpoint load ("fat" links,
+section 3.4).  ``fat_mesh`` generalises to k x k for the scalability
+studies the paper lists as future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.router.routing import (
+    FatMeshRouting,
+    RoutingFunction,
+    SingleSwitchRouting,
+)
+
+
+@dataclass
+class Topology:
+    """Static description of a network.
+
+    * ``hosts`` — one ``(node_id, router_id, port)`` triple per endpoint;
+      the port is used for both injection (input side) and ejection
+      (output side).
+    * ``channels`` — unidirectional inter-router wires
+      ``(src_router, src_port, dst_router, dst_port)``; bidirectional
+      physical links appear as two entries.
+    * ``routing`` — the routing function all routers share.
+    """
+
+    name: str
+    num_routers: int
+    ports_per_router: int
+    hosts: List[Tuple[int, int, int]]
+    channels: List[Tuple[int, int, int, int]]
+    routing: RoutingFunction
+    extras: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        used = set()
+        for node, router, port in self.hosts:
+            if not 0 <= router < self.num_routers:
+                raise ConfigurationError(f"host {node}: bad router {router}")
+            if not 0 <= port < self.ports_per_router:
+                raise ConfigurationError(f"host {node}: bad port {port}")
+            if (router, port) in used:
+                raise ConfigurationError(
+                    f"port ({router},{port}) attached twice"
+                )
+            used.add((router, port))
+        out_used = set(used)
+        in_used = set(used)
+        for src_r, src_p, dst_r, dst_p in self.channels:
+            if (src_r, src_p) in out_used and (src_r, src_p) not in used:
+                raise ConfigurationError(
+                    f"output port ({src_r},{src_p}) wired twice"
+                )
+            if (src_r, src_p) in used:
+                raise ConfigurationError(
+                    f"port ({src_r},{src_p}) is both host and channel port"
+                )
+            if (dst_r, dst_p) in used:
+                raise ConfigurationError(
+                    f"port ({dst_r},{dst_p}) is both host and channel port"
+                )
+            out_used.add((src_r, src_p))
+            in_used.add((dst_r, dst_p))
+
+    @property
+    def num_hosts(self) -> int:
+        """Number of endpoint nodes."""
+        return len(self.hosts)
+
+    @property
+    def node_ids(self) -> List[int]:
+        """All endpoint node ids."""
+        return [node for node, _, _ in self.hosts]
+
+
+def single_switch(num_ports: int = 8) -> Topology:
+    """One switch with a host on every port (the paper's main testbed)."""
+    if num_ports < 2:
+        raise ConfigurationError(f"need >= 2 ports, got {num_ports}")
+    hosts = [(i, 0, i) for i in range(num_ports)]
+    routing = SingleSwitchRouting({i: i for i in range(num_ports)})
+    return Topology(
+        name=f"single-switch-{num_ports}",
+        num_routers=1,
+        ports_per_router=num_ports,
+        hosts=hosts,
+        channels=[],
+        routing=routing,
+    )
+
+
+def fat_mesh(
+    rows: int = 2,
+    cols: int = 2,
+    hosts_per_router: int = 4,
+    fat_width: int = 2,
+) -> Topology:
+    """A rows x cols mesh with ``fat_width`` links between neighbours.
+
+    Port layout per router: hosts occupy ports ``0..hosts_per_router-1``;
+    each direction that has a neighbour gets ``fat_width`` consecutive
+    ports, allocated in +X, -X, +Y, -Y order.  Deterministic
+    dimension-order (X then Y) routing; the per-hop fat-link choice is
+    made by the router from the candidate group based on load.
+    """
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ConfigurationError("mesh needs at least two routers")
+    if hosts_per_router < 1:
+        raise ConfigurationError("need at least one host per router")
+    if fat_width < 1:
+        raise ConfigurationError("fat_width must be >= 1")
+
+    def rid(x: int, y: int) -> int:
+        return y * cols + x
+
+    num_routers = rows * cols
+    # Assign port groups per router and direction.
+    directions = {}  # (router, dx, dy) -> tuple of ports
+    ports_needed = []
+    for y in range(rows):
+        for x in range(cols):
+            router = rid(x, y)
+            cursor = hosts_per_router
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                nx, ny = x + dx, y + dy
+                if 0 <= nx < cols and 0 <= ny < rows:
+                    group = tuple(range(cursor, cursor + fat_width))
+                    directions[(router, dx, dy)] = group
+                    cursor += fat_width
+            ports_needed.append(cursor)
+    ports_per_router = max(ports_needed)
+
+    hosts = []
+    host_router: Dict[int, int] = {}
+    host_port: Dict[int, int] = {}
+    for router in range(num_routers):
+        for k in range(hosts_per_router):
+            node = router * hosts_per_router + k
+            hosts.append((node, router, k))
+            host_router[node] = router
+            host_port[node] = k
+
+    # Channels: the i-th fat port toward a neighbour wires to the
+    # neighbour's i-th fat port back toward us.
+    channels = []
+    for (router, dx, dy), group in directions.items():
+        x, y = router % cols, router // cols
+        neighbour = rid(x + dx, y + dy)
+        back = directions[(neighbour, -dx, -dy)]
+        for src_p, dst_p in zip(group, back):
+            channels.append((router, src_p, neighbour, dst_p))
+
+    # Dimension-order routing table: X first, then Y.
+    table: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+    for router in range(num_routers):
+        x, y = router % cols, router // cols
+        for node, dst_router in host_router.items():
+            if dst_router == router:
+                table[(router, node)] = (host_port[node],)
+                continue
+            dst_x, dst_y = dst_router % cols, dst_router // cols
+            if dst_x > x:
+                step = (1, 0)
+            elif dst_x < x:
+                step = (-1, 0)
+            elif dst_y > y:
+                step = (0, 1)
+            else:
+                step = (0, -1)
+            table[(router, node)] = directions[(router, step[0], step[1])]
+
+    return Topology(
+        name=f"fat-mesh-{rows}x{cols}w{fat_width}",
+        num_routers=num_routers,
+        ports_per_router=ports_per_router,
+        hosts=hosts,
+        channels=channels,
+        routing=FatMeshRouting(table),
+        extras={
+            "rows": rows,
+            "cols": cols,
+            "hosts_per_router": hosts_per_router,
+            "fat_width": fat_width,
+        },
+    )
+
+
+def fat_mesh_2x2() -> Topology:
+    """The paper's fat mesh: 2x2, four hosts per 8-port switch, 2 fat links."""
+    return fat_mesh(rows=2, cols=2, hosts_per_router=4, fat_width=2)
+
+
+def fat_tree(
+    leaves: int = 4,
+    spines: int = 2,
+    hosts_per_leaf: int = 2,
+    fat_width: int = 1,
+) -> Topology:
+    """A two-level fat tree (folded Clos) — the paper's other fat topology.
+
+    Every leaf switch connects to every spine switch with ``fat_width``
+    physical links.  Routing is up/down (deadlock-free): a message for
+    a remote leaf may go up on *any* spine link (the router picks by
+    load, as on fat-mesh link groups), then down the unique link group
+    toward the destination leaf.
+
+    Router ids: leaves are ``0 .. leaves-1``, spines follow.
+    """
+    if leaves < 2:
+        raise ConfigurationError("a fat tree needs >= 2 leaf switches")
+    if spines < 1:
+        raise ConfigurationError("a fat tree needs >= 1 spine switch")
+    if hosts_per_leaf < 1:
+        raise ConfigurationError("need at least one host per leaf")
+    if fat_width < 1:
+        raise ConfigurationError("fat_width must be >= 1")
+
+    num_routers = leaves + spines
+    leaf_ports = hosts_per_leaf + spines * fat_width
+    spine_ports = leaves * fat_width
+    ports_per_router = max(leaf_ports, spine_ports)
+
+    hosts = []
+    host_leaf: Dict[int, int] = {}
+    host_port: Dict[int, int] = {}
+    for leaf in range(leaves):
+        for k in range(hosts_per_leaf):
+            node = leaf * hosts_per_leaf + k
+            hosts.append((node, leaf, k))
+            host_leaf[node] = leaf
+            host_port[node] = k
+
+    # Leaf port layout: hosts, then fat groups toward each spine.
+    # Spine port layout: fat groups toward each leaf.
+    def leaf_up_ports(spine: int) -> Tuple[int, ...]:
+        base = hosts_per_leaf + spine * fat_width
+        return tuple(range(base, base + fat_width))
+
+    def spine_down_ports(leaf: int) -> Tuple[int, ...]:
+        base = leaf * fat_width
+        return tuple(range(base, base + fat_width))
+
+    channels = []
+    for leaf in range(leaves):
+        for spine in range(spines):
+            spine_router = leaves + spine
+            for up, down in zip(leaf_up_ports(spine), spine_down_ports(leaf)):
+                channels.append((leaf, up, spine_router, down))
+                channels.append((spine_router, down, leaf, up))
+
+    table: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+    all_up = tuple(
+        port for spine in range(spines) for port in leaf_up_ports(spine)
+    )
+    for node, leaf in host_leaf.items():
+        for router in range(leaves):
+            if router == leaf:
+                table[(router, node)] = (host_port[node],)
+            else:
+                # up: any spine link is a legal first hop
+                table[(router, node)] = all_up
+        for spine in range(spines):
+            # down: the unique fat group toward the destination leaf
+            table[(leaves + spine, node)] = spine_down_ports(leaf)
+
+    return Topology(
+        name=f"fat-tree-{leaves}l{spines}s-w{fat_width}",
+        num_routers=num_routers,
+        ports_per_router=ports_per_router,
+        hosts=hosts,
+        channels=channels,
+        routing=FatMeshRouting(table),
+        extras={
+            "leaves": leaves,
+            "spines": spines,
+            "hosts_per_leaf": hosts_per_leaf,
+            "fat_width": fat_width,
+        },
+    )

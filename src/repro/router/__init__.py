@@ -1,0 +1,32 @@
+"""Wormhole router substrate: flits, buffers, crossbar, pipeline.
+
+Implements the 5-stage PROUD pipelined router of the paper's Fig. 1
+with credit-based virtual-channel flow control, a multiplexed or full
+crossbar, and pluggable multiplexer scheduling (see
+:mod:`repro.core.schedulers`).
+"""
+
+from repro.router.flit import Message, TrafficClass, messages_for_frame
+from repro.router.buffers import InputVC, OutputVC
+from repro.router.config import CrossbarKind, QosPlacement, RouterConfig
+from repro.router.router import WormholeRouter
+from repro.router.routing import (
+    FatMeshRouting,
+    RoutingFunction,
+    SingleSwitchRouting,
+)
+
+__all__ = [
+    "CrossbarKind",
+    "FatMeshRouting",
+    "InputVC",
+    "Message",
+    "OutputVC",
+    "QosPlacement",
+    "RouterConfig",
+    "RoutingFunction",
+    "SingleSwitchRouting",
+    "TrafficClass",
+    "WormholeRouter",
+    "messages_for_frame",
+]

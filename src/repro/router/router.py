@@ -1,0 +1,465 @@
+"""The pipelined wormhole router (PROUD model, paper Figs. 1 and 2).
+
+Each cycle the router executes its stages in downstream-to-upstream
+order so a flit advances at most one stage per cycle:
+
+5. **Output VC multiplexer** — per output PC, pick one staged flit among
+   the VCs with a flit and a downstream credit (contention point C) and
+   put it on the link.
+4. **Crossbar** — *multiplexed* crossbar: per input PC, the crossbar
+   input multiplexer (contention point A, where MediaWorm runs Virtual
+   Clock) picks one routed VC whose head flit can move; at most one flit
+   per crossbar output port per cycle (contention point B).  *Full*
+   crossbar: every routed VC with a flit and staging space moves one
+   flit — its crossbar port is dedicated and the output VC is owned by a
+   single message, so there is nothing to arbitrate.
+3./2. **Arbitration / routing** — header flits at the head of an input
+   VC compute their output port (after the routing delay) and then
+   retry every cycle for a free output VC in their class partition.
+1. **Sync / demux / buffer / decode** — modelled by the link latency;
+   arriving flits are stamped for the crossbar-input scheduler and
+   buffered (:meth:`WormholeRouter.accept_flit` is called by the link).
+
+Activity sets (``_pending_arb``, ``_sendable``, ``_out_active``) keep
+the per-cycle cost proportional to the number of busy VCs rather than
+the total number of VCs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set
+
+from repro.core.schedulers import (
+    MuxScheduler,
+    SchedulingPolicy,
+    make_scheduler,
+)
+from repro.errors import FlowControlError, RoutingError
+from repro.router.buffers import InputVC, OutputVC
+from repro.router.config import CrossbarKind, RouterConfig
+from repro.router.flit import Message
+from repro.router.routing import RoutingFunction
+
+
+class WormholeRouter:
+    """One wormhole-switched router instance."""
+
+    def __init__(
+        self,
+        router_id: int,
+        config: RouterConfig,
+        routing: RoutingFunction,
+    ) -> None:
+        self.router_id = router_id
+        self.config = config
+        self.routing = routing
+        n, m = config.num_ports, config.vcs_per_pc
+        self.inputs: List[List[InputVC]] = [
+            [InputVC(p, v, config.flit_buffer_depth) for v in range(m)]
+            for p in range(n)
+        ]
+        self.outputs: List[List[OutputVC]] = [
+            [OutputVC(p, v, config.output_buffer_depth) for v in range(m)]
+            for p in range(n)
+        ]
+        #: outgoing link per output port (wired by the network; None until then)
+        self.out_links: List[Optional[object]] = [None] * n
+        #: True for ports whose link ejects to a host (set when wired)
+        self.is_host_port: List[bool] = [False] * n
+
+        multiplexed = config.crossbar == CrossbarKind.MULTIPLEXED
+        # Scheduler placement per section 3.3 (point A for a multiplexed
+        # crossbar, point C for a full one), overridable for ablations
+        # via config.qos_placement.
+        in_policy, out_policy = config.resolve_mux_policies()
+        self._in_policy: MuxScheduler = make_scheduler(in_policy)
+        self._out_policy: MuxScheduler = make_scheduler(out_policy)
+        #: per-input-port selector at point A (separate instances so
+        #: round-robin rotation state stays per-multiplexer)
+        self._in_selectors: List[MuxScheduler] = [
+            make_scheduler(in_policy) for _ in range(n)
+        ]
+        self._out_selectors: List[MuxScheduler] = [
+            make_scheduler(out_policy) for _ in range(n)
+        ]
+        self._multiplexed = multiplexed
+        #: flits put on each output link (utilisation probe)
+        self.out_flits: List[int] = [0] * n
+
+        # Activity sets.
+        self._pending_arb: List[InputVC] = []
+        self._sendable: List[Set[int]] = [set() for _ in range(n)]
+        self._out_active: List[Set[int]] = [set() for _ in range(n)]
+        self._work = 0  # total busy indicators, for fast idle skip
+        self._arb_rotate = 0
+        #: optional hook(msg, flit_index) fired when a flit crosses the
+        #: crossbar — used by tests and the conservation audit
+        self.on_crossbar: Optional[Callable[[Message, int], None]] = None
+
+    # ------------------------------------------------------------------
+    # wiring helpers (used by the network builder)
+
+    def wire_output(self, port: int, link, host: bool) -> None:
+        """Attach ``link`` to ``port``; ``host`` marks an ejection port."""
+        self.out_links[port] = link
+        self.is_host_port[port] = host
+
+    # ------------------------------------------------------------------
+    # flit ingress (called by links and host interfaces)
+
+    def accept_flit(
+        self, clock: int, port: int, vc_index: int, msg: Message, flit_index: int
+    ) -> None:
+        """Stage-1 arrival: buffer and stamp one flit."""
+        vc = self.inputs[port][vc_index]
+        if flit_index == 0:
+            vc.accept_new_message(clock, msg)
+            if len(vc.messages) == 1:
+                self._pending_arb.append(vc)
+                self._work += 1
+        stamp = self._in_policy.stamp(clock, vc.vstate)
+        vc.accept_flit(stamp)
+        if vc.route_vc is not None and vc.front_has_flit:
+            sendable = self._sendable[port]
+            if vc_index not in sendable:
+                sendable.add(vc_index)
+                self._work += 1
+
+    # ------------------------------------------------------------------
+    # main per-cycle step
+
+    def step(self, clock: int) -> None:
+        """Advance every pipeline stage by one cycle."""
+        if not self._work:
+            return
+        self._stage5_output(clock)
+        self._stage4_crossbar(clock)
+        self._stage23_route_arbitrate(clock)
+
+    # -- stage 5: output VC multiplexer + link ------------------------
+
+    def _stage5_output(self, clock: int) -> None:
+        for port, active in enumerate(self._out_active):
+            if not active:
+                continue
+            ovcs = self.outputs[port]
+            candidates = []
+            for index in active:
+                ovc = ovcs[index]
+                if ovc.downstream is None or ovc.credits > 0:
+                    candidates.append((ovc.stamps[0], index))
+            if not candidates:
+                continue
+            chosen = self._out_selectors[port].select(candidates)
+            ovc = ovcs[chosen]
+            msg, flit_index = ovc.pop_head()
+            if ovc.downstream is not None:
+                ovc.credits -= 1
+            link = self.out_links[port]
+            if link is None:
+                raise FlowControlError(
+                    f"router {self.router_id} port {port} has staged flits "
+                    f"but no outgoing link"
+                )
+            link.send(clock, msg, flit_index, chosen)
+            self.out_flits[port] += 1
+            if not ovc.queue:
+                active.discard(chosen)
+                self._work -= 1
+            if msg.is_tail(flit_index):
+                ovc.release()
+
+    # -- stage 4: crossbar ---------------------------------------------
+
+    def _stage4_crossbar(self, clock: int) -> None:
+        if self._multiplexed:
+            self._crossbar_multiplexed(clock)
+        else:
+            self._crossbar_full(clock)
+
+    def _crossbar_multiplexed(self, clock: int) -> None:
+        """Crossbar input multiplexer (contention point A).
+
+        Per input PC, the multiplexer forwards the scheduler-preferred
+        flit — at most one per cycle — into its granted output VC's
+        staging buffer.  The crossbar fabric itself is modelled as
+        non-blocking: commercial pipelined routers clock the fabric
+        faster than the link, and the paper's router sustains loads up
+        to 0.96 jitter-free, which rules out fabric matching losses.
+        Bandwidth is enforced where it physically binds: one flit per
+        cycle per input PC here (the mux), one flit per cycle per
+        output PC at the stage-5 VC multiplexer, and back-pressure via
+        the finite per-VC staging space (contention point B's queue).
+        """
+        inputs = self.inputs
+        for port, sendable in enumerate(self._sendable):
+            if not sendable:
+                continue
+            port_vcs = inputs[port]
+            candidates = []
+            for index in sendable:
+                vc = port_vcs[index]
+                if vc.ready_at > clock:
+                    continue
+                if not vc.route_vc.has_space:
+                    continue
+                candidates.append((vc.stamps[0], index))
+            if not candidates:
+                continue
+            chosen = self._in_selectors[port].select(candidates)
+            self._move_through_crossbar(clock, port_vcs[chosen])
+
+    def _crossbar_full(self, clock: int) -> None:
+        inputs = self.inputs
+        for port, sendable in enumerate(self._sendable):
+            if not sendable:
+                continue
+            port_vcs = inputs[port]
+            for index in list(sendable):
+                vc = port_vcs[index]
+                if vc.ready_at > clock:
+                    continue
+                if not vc.route_vc.has_space:
+                    continue
+                self._move_through_crossbar(clock, vc)
+
+    def _move_through_crossbar(self, clock: int, vc: InputVC) -> None:
+        """Move the head flit of ``vc`` into its granted output VC."""
+        ovc = vc.route_vc
+        msg, flit_index = vc.pop_head()
+        sink = vc.credit_sink
+        if sink is not None:
+            sink.credits += 1
+        stamp = self._out_policy.stamp(clock, ovc.vstate)
+        ovc.push(msg, flit_index, stamp)
+        out_active = self._out_active[ovc.port]
+        if ovc.index not in out_active:
+            out_active.add(ovc.index)
+            self._work += 1
+        if self.on_crossbar is not None:
+            self.on_crossbar(msg, flit_index)
+        if msg.is_tail(flit_index):
+            self._sendable[vc.port].discard(vc.index)
+            self._work -= 1
+            if vc.release_front():
+                # Another message is queued behind the tail; its header
+                # re-enters routing/arbitration (stages 2-3).
+                self._pending_arb.append(vc)
+                self._work += 1
+        elif not vc.front_has_flit:
+            self._sendable[vc.port].discard(vc.index)
+            self._work -= 1
+
+    # -- stages 2 and 3: routing decision + output VC arbitration ------
+
+    def _stage23_route_arbitrate(self, clock: int) -> None:
+        pending = self._pending_arb
+        if not pending:
+            return
+        # Rotate the service order so no input VC is structurally favoured
+        # when several headers contend for the same output VC.
+        rotate = self._arb_rotate % len(pending)
+        self._arb_rotate += 1
+        ordered = pending[rotate:] + pending[:rotate]
+        # Re-entrant additions (a preemption freeing a VC whose next
+        # message must re-arbitrate) land in the fresh list and survive.
+        self._pending_arb = []
+        still_waiting: List[InputVC] = []
+        for vc in ordered:
+            if not self._try_route_and_arbitrate(clock, vc):
+                still_waiting.append(vc)
+        self._pending_arb.extend(still_waiting)
+
+    def _try_route_and_arbitrate(self, clock: int, vc: InputVC) -> bool:
+        msg = vc.msg
+        if msg is None:  # defensive: released while pending
+            self._work -= 1
+            return True
+        if clock < vc.head_arrival + self.config.routing_delay:
+            return False
+        if vc.route_port < 0:
+            ports = self.routing.candidates(self.router_id, msg.dst_node)
+            vc.route_port = self._select_output_port(ports)
+        ovc = self._arbitrate_output_vc(clock, vc.route_port, msg)
+        if ovc is None:
+            return False
+        vc.route_vc = ovc
+        vc.ready_at = clock + self.config.arbitration_delay
+        if vc.front_has_flit:
+            sendable = self._sendable[vc.port]
+            if vc.index not in sendable:
+                sendable.add(vc.index)
+                self._work += 1
+        self._work -= 1  # leaves pending_arb
+        return True
+
+    def _select_output_port(self, ports) -> int:
+        """Pick among fat-link candidates by current load (section 3.4)."""
+        if len(ports) == 1:
+            return ports[0]
+        best_port = -1
+        best_load = None
+        for port in ports:
+            load = sum(
+                (0 if ovc.is_free else 1) + len(ovc.queue)
+                for ovc in self.outputs[port]
+            )
+            if best_load is None or load < best_load:
+                best_load = load
+                best_port = port
+        return best_port
+
+    def _arbitrate_output_vc(
+        self, clock: int, port: int, msg: Message
+    ) -> Optional[OutputVC]:
+        """Grant a free output VC on ``port`` to ``msg``, if any.
+
+        The destination VC chosen by the stream (section 4.2.1) is
+        binding at the final hop (the host port); elsewhere any free VC
+        in the message's class partition may be used.  With dynamic
+        partitioning enabled, best-effort messages may also borrow a
+        free real-time VC when their own partition is exhausted.
+        """
+        ovcs = self.outputs[port]
+        if self.is_host_port[port] and msg.dst_vc is not None:
+            ovc = ovcs[msg.dst_vc]
+            if ovc.is_free:
+                ovc.grant(clock, msg)
+                return ovc
+            # A real-time message blocked on its bound VC by a
+            # best-effort *borrower* (dynamic partitioning) may preempt
+            # it — this is the dominant preemption case, since stream
+            # traffic always binds its destination VC.
+            if (
+                self.config.preemption
+                and msg.is_real_time
+                and self.on_preempt is not None
+                and ovc.owner is not None
+                and not ovc.owner.is_real_time
+            ):
+                self.on_preempt(ovc.owner)
+                if ovc.is_free:
+                    ovc.grant(clock, msg)
+                    return ovc
+            # Real-time streams keep connection semantics: every message
+            # of the stream uses the stream's destination VC, so they
+            # serialise there (the paper's streams-per-VC capacity).
+            # Best-effort messages have no connection to preserve; their
+            # drawn VC is a preference, and head-of-line waiting for a
+            # busy VC while sibling VCs idle would only waste grants
+            # (see DESIGN.md, model fidelity notes).
+            if msg.is_real_time or self.config.be_dst_vc_binding:
+                return None
+        for index in self.config.vc_range_for_class(msg.is_real_time):
+            ovc = ovcs[index]
+            if ovc.is_free:
+                ovc.grant(clock, msg)
+                return ovc
+        if self.config.dynamic_partitioning and not msg.is_real_time:
+            for index in self.config.vc_range_for_class(True):
+                ovc = ovcs[index]
+                if ovc.is_free:
+                    ovc.grant(clock, msg)
+                    return ovc
+        if (
+            self.config.preemption
+            and msg.is_real_time
+            and self.on_preempt is not None
+        ):
+            victim = self._find_preemption_victim(port)
+            if victim is not None:
+                # the hook kills the victim network-wide (dropping its
+                # remaining flits everywhere) and schedules a retransmit
+                self.on_preempt(victim)
+                for index in self.config.vc_range_for_class(True):
+                    ovc = ovcs[index]
+                    if ovc.is_free:
+                        ovc.grant(clock, msg)
+                        return ovc
+        return None
+
+    # ------------------------------------------------------------------
+    # preemption support
+
+    def purge_message(self, msg: Message) -> int:
+        """Remove every trace of a killed message from this router.
+
+        Returns the number of flits dropped (input buffers + staging).
+        Credits consumed by dropped input-buffer flits are returned to
+        the upstream sender; scheduler activity sets are repaired.
+        """
+        dropped = 0
+        for port, port_vcs in enumerate(self.inputs):
+            for vc in port_vcs:
+                if not any(rec.msg is msg for rec in vc.messages):
+                    continue
+                was_front = vc.messages[0].msg is msg
+                had_grant = was_front and vc.route_vc is not None
+                removed = vc.purge_message(msg)
+                dropped += removed
+                if vc.credit_sink is not None:
+                    vc.credit_sink.credits += removed
+                if had_grant:
+                    if vc.index in self._sendable[port]:
+                        self._sendable[port].discard(vc.index)
+                        self._work -= 1
+                if was_front:
+                    if vc in self._pending_arb:
+                        self._pending_arb.remove(vc)
+                        self._work -= 1
+                    if vc.messages:
+                        # the next message's header re-enters stage 2/3
+                        self._pending_arb.append(vc)
+                        self._work += 1
+        for port_ovcs in self.outputs:
+            for ovc in port_ovcs:
+                if ovc.owner is msg:
+                    staged = ovc.purge_owner(msg)
+                    dropped += staged
+                    if staged == 0 or not ovc.queue:
+                        active = self._out_active[ovc.port]
+                        if ovc.index in active:
+                            active.discard(ovc.index)
+                            self._work -= 1
+        return dropped
+
+    #: hook(msg) -> None installed by the network to kill & retransmit
+    #: a preemption victim; None disables preemption at arbitration
+    on_preempt: Optional[Callable[[Message], None]] = None
+
+    def _find_preemption_victim(self, port: int) -> Optional[Message]:
+        """A best-effort message squatting on a real-time VC, if any."""
+        for index in self.config.vc_range_for_class(True):
+            owner = self.outputs[port][index].owner
+            if owner is not None and not owner.is_real_time:
+                return owner
+        return None
+
+    # ------------------------------------------------------------------
+    # introspection / audit helpers
+
+    def buffered_flits(self) -> int:
+        """Total flits held in this router's buffers (audit hook)."""
+        total = 0
+        for port_vcs in self.inputs:
+            for vc in port_vcs:
+                total += vc.occupancy
+        for port_ovcs in self.outputs:
+            for ovc in port_ovcs:
+                total += len(ovc.queue)
+        return total
+
+    def check_invariants(self) -> None:
+        """Validate every buffer's bookkeeping (test hook)."""
+        for port_vcs in self.inputs:
+            for vc in port_vcs:
+                vc.check_invariants()
+        for port_ovcs in self.outputs:
+            for ovc in port_ovcs:
+                ovc.check_invariants()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WormholeRouter(id={self.router_id}, ports={self.config.num_ports}, "
+            f"vcs={self.config.vcs_per_pc}, xbar={self.config.crossbar})"
+        )

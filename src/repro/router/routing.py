@@ -1,0 +1,65 @@
+"""Routing functions: deterministic, with fat-link candidate sets.
+
+A routing function maps ``(router_id, destination node)`` to the tuple
+of output ports a header may use.  Deterministic routing returns a
+single port except on *fat* topologies, where the two physical links
+toward the same neighbour are interchangeable and the router picks the
+less-loaded one (section 3.4: "a message can use any one of the two
+links to traverse to the next node based on the current load").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import RoutingError
+
+
+class RoutingFunction:
+    """Interface: candidate output ports for a destination."""
+
+    def candidates(self, router_id: int, dst_node: int) -> Tuple[int, ...]:
+        """Output ports (non-empty tuple) a header may request."""
+        raise NotImplementedError
+
+
+class SingleSwitchRouting(RoutingFunction):
+    """Routing inside one switch: each host hangs off one port."""
+
+    def __init__(self, host_ports: Mapping[int, int]) -> None:
+        self._host_ports: Dict[int, int] = dict(host_ports)
+
+    def candidates(self, router_id: int, dst_node: int) -> Tuple[int, ...]:
+        try:
+            return (self._host_ports[dst_node],)
+        except KeyError:
+            raise RoutingError(
+                f"router {router_id}: unknown destination node {dst_node}"
+            ) from None
+
+
+class TableRouting(RoutingFunction):
+    """Precomputed routing table for multi-router topologies.
+
+    The table is built once by the topology constructor (dimension-order
+    for meshes), so the per-header cost is a dictionary lookup.  Entries
+    with several ports are fat-link groups.
+    """
+
+    def __init__(self, table: Mapping[Tuple[int, int], Tuple[int, ...]]) -> None:
+        self._table: Dict[Tuple[int, int], Tuple[int, ...]] = dict(table)
+        for key, ports in self._table.items():
+            if not ports:
+                raise RoutingError(f"empty routing entry for {key}")
+
+    def candidates(self, router_id: int, dst_node: int) -> Tuple[int, ...]:
+        try:
+            return self._table[(router_id, dst_node)]
+        except KeyError:
+            raise RoutingError(
+                f"router {router_id}: no route to node {dst_node}"
+            ) from None
+
+
+class FatMeshRouting(TableRouting):
+    """Dimension-order routing on a fat mesh (built by the topology)."""

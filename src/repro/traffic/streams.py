@@ -1,0 +1,125 @@
+"""Real-time (VBR/CBR) stream sources.
+
+A stream is a long-lived flow between one source-destination pair.
+Every ``frame_interval`` cycles it emits one video frame, packetised
+into fixed-size messages that are injected evenly across the frame
+interval (paper: 20-flit messages, 200 to a frame, one every 165 us).
+All messages of a stream use the stream's pre-drawn source and
+destination VCs and carry the stream's Vtick in their header.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.router.flit import TrafficClass, messages_for_frame
+from repro.traffic.mpeg import FrameSizeModel
+
+_stream_ids = itertools.count()
+
+
+@dataclass
+class StreamConfig:
+    """Static description of one VBR/CBR stream."""
+
+    src_node: int
+    dst_node: int
+    src_vc: int
+    dst_vc: int
+    vtick: float
+    message_size: int
+    frame_interval: int
+    frame_model: FrameSizeModel
+    traffic_class: str = TrafficClass.VBR
+    #: injection phase offset in cycles (decorrelates streams)
+    phase: int = 0
+    #: per-message header flits riding on top of frame payload
+    header_flits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.traffic_class not in TrafficClass.REAL_TIME:
+            raise ConfigurationError(
+                f"stream class must be VBR or CBR, got {self.traffic_class!r}"
+            )
+        if self.frame_interval < 1:
+            raise ConfigurationError(
+                f"frame interval must be >= 1 cycle, got {self.frame_interval}"
+            )
+        if self.message_size < 1:
+            raise ConfigurationError(
+                f"message size must be >= 1 flit, got {self.message_size}"
+            )
+        if not 0 <= self.phase < self.frame_interval:
+            raise ConfigurationError(
+                f"phase must be in [0, frame_interval), got {self.phase}"
+            )
+
+
+class MediaStream:
+    """Self-scheduling VBR/CBR source.
+
+    ``start(network)`` schedules the first frame; each frame event
+    packetises itself and schedules its message injections plus the next
+    frame event, so the network's event heap drives the whole stream.
+    """
+
+    def __init__(self, config: StreamConfig, rng: random.Random) -> None:
+        self.config = config
+        self.rng = rng
+        self.stream_id = next(_stream_ids)
+        self.frames_emitted = 0
+        self._network = None
+
+    def start(self, network) -> None:
+        """Register with ``network`` and schedule the first frame."""
+        self._network = network
+        first = network.clock + self.config.phase
+        network.schedule_call(first, self._emit_frame)
+
+    def _emit_frame(self) -> None:
+        network = self._network
+        cfg = self.config
+        now = network.clock
+        frame_flits = cfg.frame_model.draw(self.rng)
+        messages = messages_for_frame(
+            frame_flits=frame_flits,
+            message_size=cfg.message_size,
+            src_node=cfg.src_node,
+            dst_node=cfg.dst_node,
+            vtick=cfg.vtick,
+            traffic_class=cfg.traffic_class,
+            stream_id=self.stream_id,
+            frame_id=self.frames_emitted,
+            src_vc=cfg.src_vc,
+            dst_vc=cfg.dst_vc,
+            header_flits=cfg.header_flits,
+        )
+        # Spread message injections evenly across the frame interval
+        # (paper section 4.2.1).  Injections are aligned to the *end* of
+        # the interval so the last message of every frame is offered at
+        # frame_start + interval regardless of how many messages the
+        # frame packetised into; otherwise the (n-1)/n quantisation of
+        # variable-size frames would register as delivery jitter that no
+        # network could remove (negligible at 200 messages/frame, large
+        # at scaled-down frame sizes).
+        spacing = cfg.frame_interval / len(messages)
+        for j, msg in enumerate(messages):
+            network.schedule_message(now + int((j + 1) * spacing), msg)
+        self.frames_emitted += 1
+        network.schedule_call(now + cfg.frame_interval, self._emit_frame)
+
+    @property
+    def rate_fraction(self) -> float:
+        """Mean fraction of a PC this stream consumes."""
+        return self.config.frame_model.mean_flits / self.config.frame_interval
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cfg = self.config
+        return (
+            f"MediaStream(id={self.stream_id}, {cfg.src_node}->{cfg.dst_node}, "
+            f"class={cfg.traffic_class}, vc={cfg.src_vc}->{cfg.dst_vc})"
+        )

@@ -1,0 +1,116 @@
+"""Shared fixtures: tiny networks and workloads that run in milliseconds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schedulers import SchedulingPolicy
+from repro.experiments.config import SingleSwitchExperiment
+from repro.experiments.runner import simulate_single_switch
+from repro.metrics.collector import MetricsCollector
+from repro.network.network import Network
+from repro.network.topology import single_switch
+from repro.router.config import RouterConfig
+from repro.router.flit import Message, TrafficClass
+from repro.sim.rng import RngStreams
+from repro.sim.units import LinkSpec, TimeBase, WorkloadScale
+from repro.traffic.mix import build_workload
+
+
+@pytest.fixture
+def link400() -> LinkSpec:
+    """The paper's main link: 400 Mbps, 32-bit flits (80 ns cycles)."""
+    return LinkSpec(bandwidth_mbps=400.0, flit_size_bits=32)
+
+
+@pytest.fixture
+def timebase(link400) -> TimeBase:
+    return TimeBase(link400, WorkloadScale(1.0))
+
+
+def make_network(
+    ports: int = 4,
+    vcs: int = 4,
+    depth: int = 4,
+    policy: str = SchedulingPolicy.VIRTUAL_CLOCK,
+    crossbar: str = "multiplexed",
+    rt_vc_count=None,
+    on_message=None,
+    **config_kwargs,
+) -> Network:
+    """A small single-switch network for direct flit-level tests."""
+    config = RouterConfig(
+        num_ports=ports,
+        vcs_per_pc=vcs,
+        flit_buffer_depth=depth,
+        crossbar=crossbar,
+        qos_policy=policy,
+        rt_vc_count=rt_vc_count,
+        **config_kwargs,
+    )
+    return Network(single_switch(ports), config, on_message=on_message)
+
+
+def make_message(
+    src: int = 0,
+    dst: int = 1,
+    size: int = 5,
+    vtick: float = 100.0,
+    traffic_class: str = TrafficClass.VBR,
+    src_vc: int = 0,
+    dst_vc: int = 0,
+    **kwargs,
+) -> Message:
+    """A small real-time message with sensible defaults."""
+    return Message(
+        src_node=src,
+        dst_node=dst,
+        size=size,
+        vtick=vtick,
+        traffic_class=traffic_class,
+        src_vc=src_vc,
+        dst_vc=dst_vc,
+        **kwargs,
+    )
+
+
+def deliver_all(network: Network, max_cycles: int = 100_000) -> None:
+    """Run until every injected flit has ejected (bounded)."""
+    network.run_until_drained(max_extra=max_cycles)
+
+
+TINY = dict(scale=100.0, warmup_frames=1, measure_frames=2, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_run():
+    """One cached tiny single-switch run shared by read-only assertions."""
+    experiment = SingleSwitchExperiment(load=0.6, mix=(80, 20), **TINY)
+    return simulate_single_switch(experiment)
+
+
+@pytest.fixture(scope="session")
+def tiny_loaded_run():
+    """A near-saturation tiny run (shared, read-only)."""
+    experiment = SingleSwitchExperiment(load=0.9, mix=(80, 20), **TINY)
+    return simulate_single_switch(experiment)
+
+
+@pytest.fixture
+def rngs() -> RngStreams:
+    return RngStreams(seed=1234)
+
+
+def attach_workload(network: Network, load=0.5, mix=(80, 20), **overrides):
+    """Build and start a paper-style workload on ``network``."""
+    from repro.traffic.mix import TrafficMix, WorkloadConfig
+    from repro.sim.units import LinkSpec, WorkloadScale
+
+    config = WorkloadConfig(
+        link=LinkSpec(),
+        scale=WorkloadScale(100.0),
+        load=load,
+        mix=TrafficMix(*mix),
+        **overrides,
+    )
+    return build_workload(network, config, RngStreams(3))

@@ -1,0 +1,97 @@
+"""Utilisation-based admission control."""
+
+import pytest
+
+from repro.core.admission import AdmissionController
+from repro.errors import AdmissionError, ConfigurationError
+
+IN0 = ("host-in", 0, 0)
+OUT1 = ("host-out", 1, 0)
+OUT2 = ("host-out", 2, 0)
+
+
+class TestAdmissionController:
+    def test_admits_within_threshold(self):
+        controller = AdmissionController(threshold=0.75)
+        decision = controller.admit(1, 0.01, [IN0, OUT1])
+        assert decision
+        assert controller.reserved(IN0) == pytest.approx(0.01)
+        assert controller.reserved(OUT1) == pytest.approx(0.01)
+
+    def test_rejects_over_threshold(self):
+        controller = AdmissionController(threshold=0.05)
+        assert controller.admit(1, 0.04, [IN0, OUT1])
+        decision = controller.admit(2, 0.04, [IN0, OUT2])
+        assert not decision
+        assert decision.bottleneck[0] == IN0
+
+    def test_rejection_reserves_nothing(self):
+        controller = AdmissionController(threshold=0.05)
+        controller.admit(1, 0.04, [IN0, OUT1])
+        controller.admit(2, 0.04, [IN0, OUT2])
+        assert controller.reserved(OUT2) == 0.0
+        assert controller.admitted_streams == [1]
+
+    def test_paper_capacity_75_one_percent_streams(self):
+        # 0.75 threshold / 1% streams: exactly 75 streams per channel
+        controller = AdmissionController(threshold=0.75)
+        admitted = 0
+        for stream in range(100):
+            if controller.admit(stream, 0.01, [IN0]):
+                admitted += 1
+        assert admitted == 75
+
+    def test_release_frees_capacity(self):
+        controller = AdmissionController(threshold=0.02)
+        assert controller.admit(1, 0.02, [IN0])
+        assert not controller.would_admit(0.02, [IN0])
+        controller.release(1)
+        assert controller.would_admit(0.02, [IN0])
+        assert controller.reserved(IN0) == 0.0
+
+    def test_would_admit_does_not_commit(self):
+        controller = AdmissionController(threshold=0.5)
+        assert controller.would_admit(0.3, [IN0])
+        assert controller.reserved(IN0) == 0.0
+
+    def test_bottleneck_is_first_saturated_channel(self):
+        controller = AdmissionController(threshold=0.1)
+        controller.admit(1, 0.08, [OUT1])
+        decision = controller.would_admit(0.05, [IN0, OUT1])
+        assert decision.bottleneck[0] == OUT1
+        assert decision.bottleneck[1] == pytest.approx(0.13)
+
+    def test_double_admit_raises(self):
+        controller = AdmissionController()
+        controller.admit(1, 0.01, [IN0])
+        with pytest.raises(AdmissionError):
+            controller.admit(1, 0.01, [IN0])
+
+    def test_release_unknown_raises(self):
+        with pytest.raises(AdmissionError):
+            AdmissionController().release(9)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(threshold=1.5)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController().would_admit(0.0, [IN0])
+
+    def test_utilization_snapshot(self):
+        controller = AdmissionController()
+        controller.admit(1, 0.02, [IN0, OUT1])
+        controller.admit(2, 0.03, [IN0])
+        util = controller.utilization()
+        assert util[IN0] == pytest.approx(0.05)
+        assert util[OUT1] == pytest.approx(0.02)
+
+    def test_multipath_streams_reserve_every_hop(self):
+        controller = AdmissionController(threshold=0.75)
+        path = [IN0, ("link", 0, 4), ("link", 1, 5), OUT1]
+        controller.admit(1, 0.01, path)
+        for channel in path:
+            assert controller.reserved(channel) == pytest.approx(0.01)

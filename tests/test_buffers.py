@@ -1,0 +1,258 @@
+"""Input/output VC buffers and credit bookkeeping."""
+
+import pytest
+
+from repro.errors import FlowControlError
+from repro.router.buffers import InputVC, OutputVC
+from repro.router.flit import Message, TrafficClass
+
+
+def _msg(size=4, vtick=50.0):
+    return Message(0, 1, size, vtick, TrafficClass.VBR)
+
+
+class TestInputVC:
+    def test_starts_free(self):
+        vc = InputVC(port=0, index=1, capacity=4)
+        assert vc.is_free
+        assert vc.occupancy == 0
+        assert vc.msg is None
+        assert not vc.front_has_flit
+
+    def test_accept_message_and_flits(self):
+        vc = InputVC(0, 0, capacity=4)
+        msg = _msg(size=3)
+        vc.accept_new_message(10, msg)
+        for stamp in (1.0, 2.0, 3.0):
+            vc.accept_flit(stamp)
+        assert vc.occupancy == 3
+        assert vc.msg is msg
+        assert vc.head_stamp() == 1.0
+        assert vc.head_arrival == 10
+
+    def test_pop_returns_flit_indices_in_order(self):
+        vc = InputVC(0, 0, capacity=4)
+        msg = _msg(size=3)
+        vc.accept_new_message(0, msg)
+        for stamp in (1.0, 2.0, 3.0):
+            vc.accept_flit(stamp)
+        assert vc.pop_head() == (msg, 0)
+        assert vc.pop_head() == (msg, 1)
+        assert vc.pop_head() == (msg, 2)
+        assert vc.occupancy == 0
+
+    def test_overflow_raises(self):
+        vc = InputVC(0, 0, capacity=2)
+        vc.accept_new_message(0, _msg(size=5))
+        vc.accept_flit(1.0)
+        vc.accept_flit(2.0)
+        with pytest.raises(FlowControlError):
+            vc.accept_flit(3.0)
+
+    def test_flit_without_header_raises(self):
+        vc = InputVC(0, 0, capacity=2)
+        with pytest.raises(FlowControlError):
+            vc.accept_flit(1.0)
+
+    def test_pop_empty_raises(self):
+        vc = InputVC(0, 0, capacity=2)
+        vc.accept_new_message(0, _msg())
+        with pytest.raises(FlowControlError):
+            vc.pop_head()
+
+    def test_second_message_queues_behind_tail(self):
+        vc = InputVC(0, 0, capacity=8)
+        first, second = _msg(size=2), _msg(size=2)
+        vc.accept_new_message(0, first)
+        vc.accept_flit(1.0)
+        vc.accept_flit(2.0)
+        vc.accept_new_message(5, second)
+        vc.accept_flit(3.0)
+        assert vc.msg is first
+        assert len(vc.messages) == 2
+        assert vc.occupancy == 3
+
+    def test_front_has_flit_tracks_front_only(self):
+        vc = InputVC(0, 0, capacity=8)
+        first, second = _msg(size=1), _msg(size=1)
+        vc.accept_new_message(0, first)
+        vc.accept_flit(1.0)
+        vc.pop_head()
+        # front drained, second message's flit arrives
+        vc.accept_new_message(3, second)
+        vc.accept_flit(2.0)
+        assert not vc.front_has_flit  # front (first) fully served
+        assert vc.release_front()  # second waits behind
+        assert vc.front_has_flit
+
+    def test_release_front_restores_header_time(self):
+        vc = InputVC(0, 0, capacity=8)
+        vc.accept_new_message(0, _msg(size=1))
+        vc.accept_flit(1.0)
+        vc.accept_new_message(42, _msg(size=1))
+        vc.accept_flit(2.0)
+        vc.pop_head()
+        assert vc.release_front()
+        assert vc.head_arrival == 42
+
+    def test_release_without_full_service_raises(self):
+        vc = InputVC(0, 0, capacity=8)
+        vc.accept_new_message(0, _msg(size=3))
+        vc.accept_flit(1.0)
+        vc.pop_head()
+        with pytest.raises(FlowControlError):
+            vc.release_front()
+
+    def test_release_when_free_raises(self):
+        with pytest.raises(FlowControlError):
+            InputVC(0, 0, 2).release_front()
+
+    def test_release_last_message_frees_vc(self):
+        vc = InputVC(0, 0, capacity=8)
+        vc.accept_new_message(0, _msg(size=1))
+        vc.accept_flit(1.0)
+        vc.pop_head()
+        assert not vc.release_front()
+        assert vc.is_free
+        assert vc.route_port == -1 and vc.route_vc is None
+
+    def test_invariants_pass_for_consistent_state(self):
+        vc = InputVC(0, 0, capacity=4)
+        vc.accept_new_message(0, _msg(size=2))
+        vc.accept_flit(1.0)
+        vc.check_invariants()
+
+
+class TestOutputVC:
+    def test_starts_free_with_space(self):
+        ovc = OutputVC(port=1, index=2, capacity=2)
+        assert ovc.is_free
+        assert ovc.has_space
+
+    def test_grant_and_release(self):
+        ovc = OutputVC(0, 0, 2)
+        msg = _msg()
+        ovc.grant(5, msg)
+        assert not ovc.is_free
+        assert ovc.owner is msg
+        ovc.release()
+        assert ovc.is_free
+
+    def test_double_grant_raises(self):
+        ovc = OutputVC(0, 0, 2)
+        ovc.grant(0, _msg())
+        with pytest.raises(FlowControlError):
+            ovc.grant(1, _msg())
+
+    def test_push_pop_fifo_order(self):
+        ovc = OutputVC(0, 0, 4)
+        msg = _msg(size=3)
+        ovc.grant(0, msg)
+        for i in range(3):
+            ovc.push(msg, i, float(i))
+        assert ovc.head_stamp() == 0.0
+        assert ovc.pop_head() == (msg, 0)
+        assert ovc.pop_head() == (msg, 1)
+
+    def test_staging_overflow_raises(self):
+        ovc = OutputVC(0, 0, 1)
+        msg = _msg()
+        ovc.grant(0, msg)
+        ovc.push(msg, 0, 0.0)
+        assert not ovc.has_space
+        with pytest.raises(FlowControlError):
+            ovc.push(msg, 1, 1.0)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(FlowControlError):
+            OutputVC(0, 0, 2).pop_head()
+
+    def test_credit_invariant_checked(self):
+        ovc = OutputVC(0, 0, 2)
+        ovc.credits = -1
+        with pytest.raises(FlowControlError):
+            ovc.check_invariants()
+
+    def test_vstate_opens_on_grant(self):
+        ovc = OutputVC(0, 0, 2)
+        ovc.grant(7, _msg(vtick=33.0))
+        assert ovc.vstate.is_open
+        assert ovc.vstate.vtick == 33.0
+
+
+class TestInputVCPurge:
+    def test_purge_front_message(self):
+        vc = InputVC(0, 0, capacity=8)
+        msg = _msg(size=4)
+        vc.accept_new_message(0, msg)
+        for stamp in (1.0, 2.0, 3.0):
+            vc.accept_flit(stamp)
+        removed = vc.purge_message(msg)
+        assert removed == 3
+        assert vc.is_free
+        assert vc.occupancy == 0
+        vc.check_invariants()
+
+    def test_purge_partially_served_front(self):
+        vc = InputVC(0, 0, capacity=8)
+        msg = _msg(size=4)
+        vc.accept_new_message(0, msg)
+        for stamp in (1.0, 2.0, 3.0):
+            vc.accept_flit(stamp)
+        vc.pop_head()
+        assert vc.purge_message(msg) == 2
+        assert vc.is_free
+
+    def test_purge_queued_message_keeps_front_stamps(self):
+        vc = InputVC(0, 0, capacity=8)
+        front, queued = _msg(size=2), _msg(size=2)
+        vc.accept_new_message(0, front)
+        vc.accept_flit(1.0)
+        vc.accept_flit(2.0)
+        vc.accept_new_message(5, queued)
+        vc.accept_flit(9.0)
+        assert vc.purge_message(queued) == 1
+        assert list(vc.stamps) == [1.0, 2.0]
+        assert vc.msg is front
+        vc.check_invariants()
+
+    def test_purge_front_promotes_next(self):
+        vc = InputVC(0, 0, capacity=8)
+        front, queued = _msg(size=1), _msg(size=1)
+        vc.accept_new_message(0, front)
+        vc.accept_flit(1.0)
+        vc.accept_new_message(7, queued)
+        vc.accept_flit(2.0)
+        vc.route_port = 3
+        assert vc.purge_message(front) == 1
+        assert vc.msg is queued
+        assert vc.head_arrival == 7
+        assert vc.route_port == -1  # next message must re-route
+        assert list(vc.stamps) == [2.0]
+
+    def test_purge_absent_message_is_noop(self):
+        vc = InputVC(0, 0, capacity=8)
+        vc.accept_new_message(0, _msg(size=2))
+        vc.accept_flit(1.0)
+        assert vc.purge_message(_msg(size=2)) == 0
+        assert vc.occupancy == 1
+
+
+class TestOutputVCPurge:
+    def test_purge_owner_clears_staging(self):
+        ovc = OutputVC(0, 0, 4)
+        msg = _msg(size=3)
+        ovc.grant(0, msg)
+        ovc.push(msg, 0, 0.0)
+        ovc.push(msg, 1, 1.0)
+        assert ovc.purge_owner(msg) == 2
+        assert ovc.is_free
+        assert not ovc.queue
+        ovc.check_invariants()
+
+    def test_purge_non_owner_is_noop(self):
+        ovc = OutputVC(0, 0, 4)
+        msg = _msg()
+        ovc.grant(0, msg)
+        assert ovc.purge_owner(_msg()) == 0
+        assert ovc.owner is msg

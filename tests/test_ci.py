@@ -1,0 +1,95 @@
+"""Confidence intervals and seed replication."""
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.analysis.ci import (
+    ConfidenceInterval,
+    run_with_seeds,
+    t_confidence_interval,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTConfidenceInterval:
+    def test_matches_scipy_reference(self):
+        samples = [2.1, 2.5, 1.9, 2.3, 2.2]
+        ci = t_confidence_interval(samples, 0.95)
+        low, high = scipy_stats.t.interval(
+            0.95,
+            len(samples) - 1,
+            loc=scipy_stats.tmean(samples),
+            scale=scipy_stats.sem(samples),
+        )
+        assert ci.low == pytest.approx(low)
+        assert ci.high == pytest.approx(high)
+
+    def test_contains_mean(self):
+        ci = t_confidence_interval([1.0, 2.0, 3.0])
+        assert ci.contains(2.0)
+        assert not ci.contains(100.0)
+
+    def test_higher_confidence_is_wider(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        narrow = t_confidence_interval(samples, 0.90)
+        wide = t_confidence_interval(samples, 0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_more_samples_are_tighter(self):
+        few = t_confidence_interval([1.0, 2.0, 3.0])
+        many = t_confidence_interval([1.0, 2.0, 3.0] * 10)
+        assert many.half_width < few.half_width
+
+    def test_identical_samples_zero_width(self):
+        ci = t_confidence_interval([5.0, 5.0, 5.0])
+        assert ci.half_width == pytest.approx(0.0)
+        assert ci.mean == 5.0
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ConfigurationError):
+            t_confidence_interval([1.0])
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ConfigurationError):
+            t_confidence_interval([1.0, 2.0], confidence=1.0)
+
+    def test_str_rendering(self):
+        text = str(t_confidence_interval([1.0, 2.0, 3.0]))
+        assert "95%" in text and "n=3" in text
+
+
+class TestRunWithSeeds:
+    def test_calls_run_per_seed(self):
+        seen = []
+
+        def run(seed):
+            seen.append(seed)
+            return float(seed)
+
+        ci = run_with_seeds(run, seeds=[1, 2, 3])
+        assert seen == [1, 2, 3]
+        assert ci.mean == pytest.approx(2.0)
+        assert ci.n == 3
+
+    def test_rejects_single_seed(self):
+        with pytest.raises(ConfigurationError):
+            run_with_seeds(lambda s: 1.0, seeds=[1])
+
+    def test_replicated_simulation_ci(self):
+        # seeds change details but a low-load run stays near 33 ms
+        from repro.experiments.config import SingleSwitchExperiment
+        from repro.experiments.runner import simulate_single_switch
+
+        def run(seed):
+            exp = SingleSwitchExperiment(
+                load=0.4,
+                mix=(100, 0),
+                scale=100.0,
+                warmup_frames=1,
+                measure_frames=2,
+                seed=seed,
+            )
+            return simulate_single_switch(exp).metrics.d
+
+        ci = run_with_seeds(run, seeds=[1, 2, 3])
+        assert ci.contains(33.0) or abs(ci.mean - 33.0) < 1.0

@@ -1,0 +1,48 @@
+"""Command-line interface."""
+
+import pytest
+
+import repro.experiments.cli as cli
+from repro.experiments.figures import PROFILES, RunProfile
+
+TINY = RunProfile("tiny", scale=80.0, warmup_frames=1, measure_frames=2)
+
+
+@pytest.fixture(autouse=True)
+def tiny_profile(monkeypatch):
+    """Register a 'tiny' profile and shrink the default sweeps."""
+    monkeypatch.setitem(PROFILES, "tiny", TINY)
+    import repro.experiments.figures as figures
+
+    monkeypatch.setattr(figures, "DEFAULT_LOADS", (0.5,))
+    monkeypatch.setattr(figures, "DEFAULT_MIXES", ((80, 20),))
+    import repro.experiments.tables as tables
+
+    monkeypatch.setattr(tables, "TABLE3_LOADS", (0.5,))
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "table3" in out
+
+    def test_run_fig3(self, capsys):
+        assert cli.main(["run", "fig3", "--profile", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "virtual_clock" in out
+        assert "completed in" in out
+
+    def test_run_table3(self, capsys):
+        assert cli.main(["run", "table3", "--profile", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Established" in out
+
+    def test_unknown_experiment_exits(self):
+        with pytest.raises(SystemExit):
+            cli.main(["run", "fig99", "--profile", "tiny"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.main([])

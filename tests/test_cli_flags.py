@@ -1,0 +1,54 @@
+"""CLI flags: --plot, --check, and their interaction."""
+
+import pytest
+
+import repro.experiments.cli as cli
+from repro.experiments.figures import PROFILES, RunProfile
+
+TINY = RunProfile("tiny2", scale=100.0, warmup_frames=1, measure_frames=2)
+
+
+@pytest.fixture(autouse=True)
+def tiny_profile(monkeypatch):
+    monkeypatch.setitem(PROFILES, "tiny2", TINY)
+    import repro.experiments.figures as figures
+
+    monkeypatch.setattr(figures, "DEFAULT_LOADS", (0.4, 0.5))
+
+
+class TestPlotFlag:
+    def test_plot_appends_chart(self, capsys):
+        assert cli.main(["run", "fig3", "--profile", "tiny2", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "sigma_d vs input link load" in out
+        # series legend marks appear
+        assert "o virtual_clock" in out
+
+    def test_no_plot_by_default(self, capsys):
+        assert cli.main(["run", "fig3", "--profile", "tiny2"]) == 0
+        out = capsys.readouterr().out
+        assert "sigma_d vs input link load" not in out
+
+
+class TestCheckFlag:
+    def test_check_prints_claim_verdicts(self, capsys):
+        assert cli.main(["run", "fig3", "--profile", "tiny2", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "paper claims:" in out
+        assert "[PASS]" in out or "[FAIL]" in out
+
+    def test_check_mentions_jitter_free_claim(self, capsys):
+        cli.main(["run", "fig4", "--profile", "tiny2", "--check"])
+        out = capsys.readouterr().out
+        assert "jitter-free" in out
+
+    def test_plot_and_check_combine(self, capsys):
+        assert (
+            cli.main(
+                ["run", "fig3", "--profile", "tiny2", "--plot", "--check"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "paper claims:" in out
+        assert "sigma_d vs input link load" in out

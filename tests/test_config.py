@@ -1,0 +1,89 @@
+"""Router configuration validation and VC partitioning."""
+
+import pytest
+
+from repro.core.mediaworm import mediaworm_router_config, vanilla_router_config
+from repro.core.schedulers import SchedulingPolicy
+from repro.errors import ConfigurationError
+from repro.router.config import CrossbarKind, RouterConfig
+
+
+class TestRouterConfig:
+    def test_table1_defaults(self):
+        config = RouterConfig()
+        assert config.num_ports == 8
+        assert config.vcs_per_pc == 16
+        assert config.crossbar == CrossbarKind.MULTIPLEXED
+        assert config.qos_policy == SchedulingPolicy.VIRTUAL_CLOCK
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_ports=0),
+            dict(vcs_per_pc=0),
+            dict(flit_buffer_depth=0),
+            dict(output_buffer_depth=0),
+            dict(crossbar="mesh"),
+            dict(qos_policy="edf"),
+            dict(rt_vc_count=17),
+            dict(rt_vc_count=-1),
+            dict(routing_delay=-1),
+            dict(arbitration_delay=-1),
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RouterConfig(**kwargs)
+
+    def test_header_pipeline_delay(self):
+        config = RouterConfig(routing_delay=1, arbitration_delay=1)
+        assert config.header_pipeline_delay == 2
+
+    def test_partition_none_gives_all_vcs_to_both(self):
+        config = RouterConfig(vcs_per_pc=8, rt_vc_count=None)
+        assert list(config.vc_range_for_class(True)) == list(range(8))
+        assert list(config.vc_range_for_class(False)) == list(range(8))
+
+    def test_partition_splits_ranges(self):
+        config = RouterConfig(vcs_per_pc=16, rt_vc_count=13)
+        assert list(config.vc_range_for_class(True)) == list(range(13))
+        assert list(config.vc_range_for_class(False)) == list(range(13, 16))
+
+    def test_partition_all_real_time(self):
+        config = RouterConfig(vcs_per_pc=16, rt_vc_count=16)
+        assert list(config.vc_range_for_class(True)) == list(range(16))
+        assert list(config.vc_range_for_class(False)) == []
+
+    def test_partition_all_best_effort(self):
+        config = RouterConfig(vcs_per_pc=16, rt_vc_count=0)
+        assert list(config.vc_range_for_class(True)) == []
+        assert list(config.vc_range_for_class(False)) == list(range(16))
+
+
+class TestPresets:
+    def test_mediaworm_uses_virtual_clock(self):
+        config = mediaworm_router_config()
+        assert config.qos_policy == SchedulingPolicy.VIRTUAL_CLOCK
+
+    def test_vanilla_defaults_to_fifo(self):
+        config = vanilla_router_config()
+        assert config.qos_policy == SchedulingPolicy.FIFO
+
+    def test_vanilla_round_robin_variant(self):
+        config = vanilla_router_config(scheduler=SchedulingPolicy.ROUND_ROBIN)
+        assert config.qos_policy == SchedulingPolicy.ROUND_ROBIN
+
+    def test_presets_share_pipeline_shape(self):
+        mw = mediaworm_router_config(vcs_per_pc=8)
+        va = vanilla_router_config(vcs_per_pc=8)
+        assert mw.num_ports == va.num_ports
+        assert mw.vcs_per_pc == va.vcs_per_pc
+        assert mw.crossbar == va.crossbar
+
+    def test_full_crossbar_preset(self):
+        config = mediaworm_router_config(crossbar=CrossbarKind.FULL)
+        assert config.crossbar == CrossbarKind.FULL
+
+    def test_overrides_pass_through(self):
+        config = mediaworm_router_config(output_buffer_depth=6)
+        assert config.output_buffer_depth == 6

@@ -1,0 +1,96 @@
+"""EventHeap ordering and firing semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.events import EventHeap
+
+
+class TestEventHeap:
+    def test_empty_heap(self):
+        heap = EventHeap()
+        assert len(heap) == 0
+        assert not heap
+        assert heap.next_time() is None
+        assert heap.fire_due(100) == 0
+
+    def test_fires_due_events(self):
+        heap = EventHeap()
+        fired = []
+        heap.schedule(5, lambda: fired.append("a"))
+        heap.schedule(10, lambda: fired.append("b"))
+        assert heap.fire_due(5) == 1
+        assert fired == ["a"]
+        assert len(heap) == 1
+
+    def test_fires_everything_at_or_before_now(self):
+        heap = EventHeap()
+        fired = []
+        for t in (3, 1, 2):
+            heap.schedule(t, lambda t=t: fired.append(t))
+        assert heap.fire_due(2) == 2
+        assert fired == [1, 2]
+
+    def test_same_time_fires_in_schedule_order(self):
+        heap = EventHeap()
+        fired = []
+        for i in range(5):
+            heap.schedule(7, lambda i=i: fired.append(i))
+        heap.fire_due(7)
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_next_time_is_minimum(self):
+        heap = EventHeap()
+        heap.schedule(9, lambda: None)
+        heap.schedule(3, lambda: None)
+        heap.schedule(6, lambda: None)
+        assert heap.next_time() == 3
+
+    def test_callback_may_schedule_at_same_time(self):
+        heap = EventHeap()
+        fired = []
+
+        def chain():
+            fired.append("first")
+            heap.schedule(4, lambda: fired.append("second"))
+
+        heap.schedule(4, chain)
+        assert heap.fire_due(4) == 2
+        assert fired == ["first", "second"]
+
+    def test_callback_may_schedule_future_events(self):
+        heap = EventHeap()
+        fired = []
+        heap.schedule(1, lambda: heap.schedule(10, lambda: fired.append("x")))
+        heap.fire_due(1)
+        assert not fired
+        assert heap.next_time() == 10
+
+    def test_bool_truthiness(self):
+        heap = EventHeap()
+        heap.schedule(1, lambda: None)
+        assert heap
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1))
+    def test_fire_order_is_nondecreasing(self, times):
+        heap = EventHeap()
+        fired = []
+        for t in times:
+            heap.schedule(t, lambda t=t: fired.append(t))
+        heap.fire_due(max(times))
+        assert fired == sorted(fired)
+        assert sorted(fired) == sorted(times)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), min_size=1),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_partial_fire_splits_by_now(self, times, now):
+        heap = EventHeap()
+        fired = []
+        for t in times:
+            heap.schedule(t, lambda t=t: fired.append(t))
+        count = heap.fire_due(now)
+        assert count == sum(1 for t in times if t <= now)
+        assert len(heap) == len(times) - count

@@ -1,0 +1,61 @@
+"""Example scripts: importability and structure (no full runs here).
+
+The examples are exercised for real by ``make examples``; these tests
+only guard against import rot and interface drift, keeping the test
+suite fast.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        names = {path.stem for path in EXAMPLES}
+        assert {
+            "quickstart",
+            "scheduler_shootout",
+            "video_server_admission",
+            "cluster_fat_mesh",
+            "pcs_vs_mediaworm",
+            "gop_trace_study",
+            "topology_comparison",
+        } <= names
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_imports_and_has_main(self, path):
+        module = _load(path)
+        assert callable(getattr(module, "main", None)), (
+            f"{path.name} must define main()"
+        )
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_has_module_docstring(self, path):
+        module = _load(path)
+        assert module.__doc__ and len(module.__doc__) > 80
+
+    def test_argparse_examples_offer_help(self, capsys):
+        for stem in ("cluster_fat_mesh", "topology_comparison"):
+            module = _load(EXAMPLES_DIR / f"{stem}.py")
+            argv = sys.argv
+            sys.argv = [stem, "--help"]
+            try:
+                with pytest.raises(SystemExit) as excinfo:
+                    module.main()
+                assert excinfo.value.code == 0
+            finally:
+                sys.argv = argv
+            assert "--load" in capsys.readouterr().out

@@ -1,0 +1,103 @@
+"""Figure/table harness: structure of reproduced sweeps (tiny profile)."""
+
+import math
+
+import pytest
+
+from repro.experiments.figures import (
+    FIGURES,
+    PROFILES,
+    RunProfile,
+    get_profile,
+    run_fig3,
+    run_fig4,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_mixed_grid,
+    run_fig5,
+)
+from repro.experiments.tables import run_table2, run_table3
+
+#: one-point sweeps at a very coarse scale: structure tests, not physics
+TINY = RunProfile("tiny", scale=80.0, warmup_frames=1, measure_frames=2)
+
+
+class TestProfiles:
+    def test_registry_contains_standard_profiles(self):
+        assert {"quick", "default", "full"} <= set(PROFILES)
+        assert PROFILES["full"].scale == 1.0
+
+    def test_get_profile_accepts_name_or_object(self):
+        assert get_profile("quick") is PROFILES["quick"]
+        assert get_profile(TINY) is TINY
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("huge")
+
+
+class TestFigureRunners:
+    def test_registry_covers_every_figure(self):
+        assert set(FIGURES) == {
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+        }
+
+    def test_fig3_series(self):
+        fig = run_fig3(TINY, loads=(0.5,))
+        assert set(fig.series) == {"virtual_clock", "fifo"}
+        for points in fig.series.values():
+            assert len(points) == 1
+            assert points[0].d == pytest.approx(33.0, abs=2.0)
+
+    def test_fig4_series(self):
+        fig = run_fig4(TINY, loads=(0.5,))
+        assert set(fig.series) == {"vbr", "cbr"}
+
+    def test_fig5_and_table2_share_grid(self):
+        mixes = ((50, 50), (80, 20))
+        loads = (0.5,)
+        grid = run_mixed_grid(TINY, loads, mixes)
+        fig = run_fig5(TINY, loads, mixes, grid=grid)
+        table = run_table2(TINY, loads, mixes, grid=grid)
+        assert set(fig.series) == {"load=0.5"}
+        assert len(fig.series["load=0.5"]) == 2
+        assert table.cell((80, 20), 0.5) == grid[
+            ((80, 20), 0.5)
+        ].metrics.be_latency_us
+
+    def test_fig6_config_labels(self):
+        fig = run_fig6(TINY, loads=(0.5,))
+        assert "4 VCs, full crossbar" in fig.series
+        assert len(fig.series) == 4
+
+    def test_fig7_message_sizes_sweep(self):
+        fig = run_fig7(TINY, loads=(0.5,), message_sizes=(10, 20))
+        points = fig.series["load=0.5"]
+        assert [p.x for p in points] == [10, 20]
+
+    def test_fig8_includes_pcs_accounting(self):
+        fig = run_fig8(TINY, loads=(0.4,))
+        pcs_point = fig.series["pcs"][0]
+        assert "established" in pcs_point.extra
+        assert pcs_point.extra["attempts"] >= pcs_point.extra["established"]
+
+    def test_fig9_uses_mix_labels(self):
+        fig = run_fig9(TINY, loads=(0.5,), mixes=((60, 40),))
+        assert [p.x for p in fig.series["load=0.5"]] == ["60:40"]
+
+
+class TestTableRunners:
+    def test_table2_saturation_formatting(self):
+        table = run_table2(TINY, loads=(0.5,), mixes=((50, 50),))
+        text = table.cell_text((50, 50), 0.5)
+        assert text == "Sat." or float(text) >= 0
+
+    def test_table3_rows_and_identity(self):
+        table = run_table3(TINY, loads=(0.4, 0.9))
+        assert len(table.rows) == 2
+        for row in table.rows:
+            assert row.attempts == row.established + row.dropped
+        by_load = {row.load: row for row in table.rows}
+        assert by_load[0.9].offered > by_load[0.4].offered

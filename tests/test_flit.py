@@ -1,0 +1,136 @@
+"""Messages and frame packetisation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.router.flit import Message, TrafficClass, messages_for_frame
+
+
+def _pack(frame_flits, message_size, header_flits=0):
+    return messages_for_frame(
+        frame_flits=frame_flits,
+        message_size=message_size,
+        src_node=0,
+        dst_node=1,
+        vtick=100.0,
+        traffic_class=TrafficClass.VBR,
+        stream_id=5,
+        frame_id=9,
+        src_vc=2,
+        dst_vc=3,
+        header_flits=header_flits,
+    )
+
+
+class TestTrafficClass:
+    def test_real_time_classes(self):
+        assert TrafficClass.is_real_time(TrafficClass.VBR)
+        assert TrafficClass.is_real_time(TrafficClass.CBR)
+        assert not TrafficClass.is_real_time(TrafficClass.BEST_EFFORT)
+
+
+class TestMessage:
+    def test_basic_fields(self):
+        msg = Message(0, 1, 20, 100.0, TrafficClass.VBR, src_vc=2, dst_vc=3)
+        assert msg.size == 20
+        assert msg.is_real_time
+        assert msg.src_vc == 2 and msg.dst_vc == 3
+
+    def test_ids_are_unique(self):
+        a = Message(0, 1, 1, 1.0, TrafficClass.VBR)
+        b = Message(0, 1, 1, 1.0, TrafficClass.VBR)
+        assert a.msg_id != b.msg_id
+
+    def test_header_and_tail_indexing(self):
+        msg = Message(0, 1, 5, 1.0, TrafficClass.CBR)
+        assert msg.is_header(0)
+        assert not msg.is_header(1)
+        assert msg.is_tail(4)
+        assert not msg.is_tail(3)
+
+    def test_single_flit_message_is_header_and_tail(self):
+        msg = Message(0, 1, 1, 1.0, TrafficClass.VBR)
+        assert msg.is_header(0) and msg.is_tail(0)
+
+    def test_best_effort_is_not_real_time(self):
+        msg = Message(0, 1, 20, 1e12, TrafficClass.BEST_EFFORT)
+        assert not msg.is_real_time
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            Message(0, 1, 0, 1.0, TrafficClass.VBR)
+
+    def test_rejects_bad_vtick(self):
+        with pytest.raises(ConfigurationError):
+            Message(0, 1, 5, 0.0, TrafficClass.VBR)
+
+    def test_rejects_unknown_class(self):
+        with pytest.raises(ConfigurationError):
+            Message(0, 1, 5, 1.0, "abr")
+
+
+class TestPacketisation:
+    def test_exact_division(self):
+        messages = _pack(100, 20)
+        assert len(messages) == 5
+        assert all(m.size == 20 for m in messages)
+
+    def test_remainder_goes_to_last_message(self):
+        messages = _pack(45, 20)
+        assert [m.size for m in messages] == [20, 20, 5]
+
+    def test_single_message_frame(self):
+        messages = _pack(7, 20)
+        assert len(messages) == 1
+        assert messages[0].size == 7
+
+    def test_frame_metadata_propagates(self):
+        messages = _pack(45, 20)
+        for msg in messages:
+            assert msg.stream_id == 5
+            assert msg.frame_id == 9
+            assert msg.frame_messages == 3
+            assert msg.src_vc == 2 and msg.dst_vc == 3
+
+    def test_paper_example_200_messages(self):
+        # 4000-flit frame, 20-flit messages -> 200 messages
+        assert len(_pack(4000, 20)) == 200
+
+    def test_header_overhead_adds_wire_flits(self):
+        # 38 payload flits, 20-flit messages with 1 header flit:
+        # 19 payload per message -> 2 messages of 20 wire flits each
+        messages = _pack(38, 20, header_flits=1)
+        assert [m.size for m in messages] == [20, 20]
+
+    def test_header_overhead_partial_last_message(self):
+        messages = _pack(20, 20, header_flits=1)
+        assert [m.size for m in messages] == [20, 2]
+
+    def test_rejects_empty_frame(self):
+        with pytest.raises(ConfigurationError):
+            _pack(0, 20)
+
+    def test_rejects_header_not_smaller_than_message(self):
+        with pytest.raises(ConfigurationError):
+            _pack(10, 4, header_flits=4)
+
+    @given(
+        st.integers(min_value=1, max_value=5000),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_payload_is_conserved(self, frame_flits, message_size):
+        messages = _pack(frame_flits, message_size)
+        assert sum(m.size for m in messages) == frame_flits
+        assert all(1 <= m.size <= message_size for m in messages)
+
+    @given(
+        st.integers(min_value=1, max_value=5000),
+        st.integers(min_value=2, max_value=64),
+    )
+    def test_payload_conserved_with_header(self, frame_flits, message_size):
+        messages = _pack(frame_flits, message_size, header_flits=1)
+        payload = sum(m.size for m in messages) - len(messages)
+        assert payload == frame_flits
+        assert all(m.frame_messages == len(messages) for m in messages)

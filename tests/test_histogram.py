@@ -1,0 +1,87 @@
+"""Fixed-bin histograms."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.histogram import Histogram, interval_histogram
+
+
+class TestHistogram:
+    def test_bins_values(self):
+        histogram = Histogram(0.0, 10.0, bins=5)
+        histogram.extend([0.5, 2.5, 2.6, 9.9])
+        assert histogram.counts == [1, 2, 0, 0, 1]
+        assert histogram.total == 4
+
+    def test_under_and_overflow(self):
+        histogram = Histogram(0.0, 10.0, bins=2)
+        histogram.extend([-1.0, 5.0, 10.0, 12.0])
+        assert histogram.underflow == 1
+        assert histogram.overflow == 2
+        assert sum(histogram.counts) == 1
+
+    def test_high_edge_is_exclusive(self):
+        histogram = Histogram(0.0, 10.0, bins=2)
+        histogram.add(10.0)
+        assert histogram.overflow == 1
+
+    def test_nan_ignored(self):
+        histogram = Histogram(0.0, 1.0, bins=1)
+        histogram.add(float("nan"))
+        assert histogram.total == 0
+
+    def test_bin_edges(self):
+        histogram = Histogram(0.0, 10.0, bins=4)
+        assert histogram.bin_edges(0) == (0.0, 2.5)
+        assert histogram.bin_edges(3) == (7.5, 10.0)
+        with pytest.raises(ConfigurationError):
+            histogram.bin_edges(4)
+
+    def test_mode_bin(self):
+        histogram = Histogram(0.0, 3.0, bins=3)
+        histogram.extend([0.5, 1.5, 1.6, 2.5])
+        assert histogram.mode_bin() == 1
+
+    def test_fraction_in(self):
+        histogram = Histogram(0.0, 10.0, bins=10)
+        histogram.extend([1.5, 2.5, 3.5, 8.5])
+        assert histogram.fraction_in(1.0, 4.0) == pytest.approx(0.75)
+
+    def test_fraction_in_empty_is_nan(self):
+        histogram = Histogram(0.0, 1.0, bins=1)
+        assert math.isnan(histogram.fraction_in(0.0, 1.0))
+
+    def test_render_contains_bars(self):
+        histogram = Histogram(0.0, 2.0, bins=2)
+        histogram.extend([0.5, 0.6, 1.5])
+        text = histogram.render(width=10)
+        assert "#" in text
+        assert "2" in text
+
+    def test_render_shows_overflow(self):
+        histogram = Histogram(0.0, 1.0, bins=1)
+        histogram.add(5.0)
+        assert ">=" in histogram.render()
+
+    def test_rejects_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(0.0, 1.0, bins=0)
+        with pytest.raises(ConfigurationError):
+            Histogram(1.0, 1.0, bins=3)
+
+
+class TestIntervalHistogram:
+    def test_centres_on_nominal(self):
+        histogram = interval_histogram([33.0] * 10)
+        assert histogram.low == 23.0
+        assert histogram.high == 43.0
+        middle = histogram.mode_bin()
+        low, high = histogram.bin_edges(middle)
+        assert low <= 33.0 < high
+
+    def test_jittery_run_spreads(self):
+        tight = interval_histogram([33.0, 33.1, 32.9])
+        loose = interval_histogram([28.0, 33.0, 39.0])
+        assert tight.fraction_in(32.0, 34.0) > loose.fraction_in(32.0, 34.0)

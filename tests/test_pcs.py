@@ -1,0 +1,201 @@
+"""Pipelined circuit switching: connection management and simulation."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments.config import PCSExperiment
+from repro.experiments.runner import simulate_pcs
+from repro.pcs.connection import ConnectionManager
+
+A, B, C = ("in", 0), ("out", 1), ("out", 2)
+
+
+def _manager(vcs=2):
+    manager = ConnectionManager()
+    for channel in (A, B, C):
+        manager.add_channel(channel, vcs)
+    return manager
+
+
+class TestConnectionManager:
+    def test_probe_reserves_path(self):
+        manager = _manager()
+        assignment = manager.probe(1, [A, B])
+        assert set(assignment) == {A, B}
+        assert manager.free_vcs(A) == 1
+        assert manager.stats.established == 1
+        assert manager.established_circuits == 1
+
+    def test_probe_nack_when_full(self):
+        manager = _manager(vcs=1)
+        assert manager.probe(1, [A, B]) is not None
+        assert manager.probe(2, [A, C]) is None  # A exhausted
+        assert manager.stats.dropped == 1
+        # partial reservation on C must have been rolled back
+        assert manager.free_vcs(C) == 1
+
+    def test_accounting_identity(self):
+        manager = _manager(vcs=1)
+        manager.probe(1, [A, B])
+        manager.probe(2, [A, C])
+        manager.probe(3, [C])
+        manager.stats.check()
+        assert manager.stats.attempts == 3
+        assert manager.stats.established == 2
+        assert manager.stats.dropped == 1
+
+    def test_release_returns_vcs(self):
+        manager = _manager(vcs=1)
+        manager.probe(1, [A, B])
+        manager.release(1)
+        assert manager.free_vcs(A) == 1
+        assert manager.probe(2, [A, B]) is not None
+        assert manager.stats.released == 1
+
+    def test_release_unknown_circuit_raises(self):
+        with pytest.raises(SimulationError):
+            _manager().release(42)
+
+    def test_double_establish_raises(self):
+        manager = _manager()
+        manager.probe(1, [A])
+        with pytest.raises(SimulationError):
+            manager.probe(1, [B])
+
+    def test_unknown_channel_raises(self):
+        with pytest.raises(ConfigurationError):
+            _manager().probe(1, [("nowhere", 9)])
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _manager().probe(1, [])
+
+    def test_duplicate_channel_registration_rejected(self):
+        manager = _manager()
+        with pytest.raises(ConfigurationError):
+            manager.add_channel(A, 2)
+
+    def test_assignment_lookup(self):
+        manager = _manager()
+        assignment = manager.probe(7, [A, B])
+        assert manager.assignment(7) == assignment
+
+
+class TestProbeSpecific:
+    def test_reserves_exact_vcs(self):
+        manager = _manager(vcs=4)
+        assignment = manager.probe_specific(1, [(A, 2), (B, 3)])
+        assert assignment == {A: 2, B: 3}
+        assert manager.free_vcs(A) == 3
+
+    def test_collision_nacks_and_rolls_back(self):
+        manager = _manager(vcs=4)
+        manager.probe_specific(1, [(A, 2), (B, 3)])
+        assert manager.probe_specific(2, [(C, 0), (A, 2)]) is None
+        assert manager.free_vcs(C) == 4  # rollback
+        assert manager.stats.dropped == 1
+
+    def test_different_vcs_coexist(self):
+        manager = _manager(vcs=4)
+        assert manager.probe_specific(1, [(A, 0)]) is not None
+        assert manager.probe_specific(2, [(A, 1)]) is not None
+        assert manager.free_vcs(A) == 2
+
+    def test_out_of_range_vc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _manager(vcs=2).probe_specific(1, [(A, 5)])
+
+
+TINY_PCS = dict(scale=80.0, warmup_frames=1, measure_frames=2, seed=3)
+
+
+class TestPCSSimulation:
+    def test_low_load_establishes_everything_eventually(self):
+        result = simulate_pcs(PCSExperiment(load=0.2, **TINY_PCS))
+        stats = result.connections
+        stats.check()
+        assert stats.established == result.offered_streams
+        assert stats.abandoned_streams == 0
+
+    def test_streams_deliver_jitter_free_at_low_load(self):
+        result = simulate_pcs(PCSExperiment(load=0.3, **TINY_PCS))
+        assert result.metrics.d == pytest.approx(33.0, abs=1.0)
+        assert result.metrics.sigma_d < 2.0
+
+    def test_drops_grow_with_load(self):
+        low = simulate_pcs(PCSExperiment(load=0.3, **TINY_PCS))
+        high = simulate_pcs(PCSExperiment(load=0.9, **TINY_PCS))
+        assert high.connections.dropped > low.connections.dropped
+        assert high.connections.attempts > high.connections.established
+
+    def test_established_bounded_by_vc_capacity(self):
+        result = simulate_pcs(PCSExperiment(load=0.95, **TINY_PCS))
+        # each node's input link has 24 VCs -> at most 24 circuits/node
+        assert result.established_streams <= 8 * 24
+
+    def test_accounting_identity_holds(self):
+        result = simulate_pcs(PCSExperiment(load=0.7, **TINY_PCS))
+        stats = result.connections
+        assert stats.attempts == stats.established + stats.dropped
+
+    def test_mixed_traffic_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_pcs(PCSExperiment(load=0.5, mix=(80, 20), **TINY_PCS))
+
+    def test_no_retries_abandons_on_first_nack(self):
+        result = simulate_pcs(
+            PCSExperiment(load=0.9, max_retries=0, **TINY_PCS)
+        )
+        stats = result.connections
+        assert stats.attempts == result.offered_streams
+        assert stats.abandoned_streams == stats.dropped
+
+
+class TestPCSOnFatMesh:
+    """Beyond the paper: PCS circuits across a multi-router topology."""
+
+    def _simulate(self, load=0.5):
+        from repro.metrics.collector import MetricsCollector
+        from repro.network.topology import fat_mesh_2x2
+        from repro.pcs.simulator import PCSSimulator
+
+        exp = PCSExperiment(
+            load=load, scale=80.0, warmup_frames=1, measure_frames=2, seed=3
+        )
+        collector = MetricsCollector(exp.timebase, warmup=exp.warmup_cycles)
+        simulator = PCSSimulator(exp, collector, topology=fat_mesh_2x2())
+        return simulator, collector
+
+    def test_circuit_channels_local_pair_is_empty(self):
+        simulator, _ = self._simulate()
+        # nodes 0 and 1 hang off the same router: no inter-switch hop
+        assert simulator.circuit_channels(0, 1) == []
+
+    def test_circuit_channels_cross_mesh(self):
+        simulator, _ = self._simulate()
+        # node 0 (router 0) to node 12 (router 3): X then Y, two hops
+        channels = simulator.circuit_channels(0, 12)
+        assert len(channels) == 2
+        assert all(kind == "link" for kind, _, _ in channels)
+        assert channels[0][1] == 0  # leaves router 0
+        assert channels[1][1] == 1  # crosses router 1 (x-first routing)
+
+    def test_fat_mesh_circuits_deliver(self):
+        simulator, collector = self._simulate(load=0.4)
+        simulator.run()
+        stats = simulator.manager.stats
+        stats.check()
+        assert stats.established > 0
+        assert collector.delivery.frames_delivered > 0
+
+    def test_multi_hop_paths_drop_more(self):
+        # The same offered load drops more circuits on the mesh than on
+        # a single switch: every extra hop is another VC draw to lose.
+        single_result = simulate_pcs(PCSExperiment(load=0.7, **TINY_PCS))
+        simulator, _ = self._simulate(load=0.7)
+        simulator.run()
+        mesh_stats = simulator.manager.stats
+        single = single_result.connections
+        mesh_rate = mesh_stats.dropped / mesh_stats.attempts
+        single_rate = single.dropped / single.attempts
+        assert mesh_rate > single_rate * 0.8  # at least comparable

@@ -1,0 +1,86 @@
+"""QoS scheduler placement (the paper's contention points A/B/C)."""
+
+import pytest
+
+from repro.core.schedulers import SchedulingPolicy
+from repro.errors import ConfigurationError
+from repro.router.config import CrossbarKind, QosPlacement, RouterConfig
+
+from conftest import deliver_all, make_message, make_network
+
+VC = SchedulingPolicy.VIRTUAL_CLOCK
+FIFO = SchedulingPolicy.FIFO
+
+
+class TestPlacementResolution:
+    def test_auto_multiplexed_puts_qos_at_input_mux(self):
+        config = RouterConfig(crossbar=CrossbarKind.MULTIPLEXED, qos_policy=VC)
+        assert config.resolve_mux_policies() == (VC, FIFO)
+
+    def test_auto_full_puts_qos_at_vc_mux(self):
+        config = RouterConfig(crossbar=CrossbarKind.FULL, qos_policy=VC)
+        assert config.resolve_mux_policies() == (FIFO, VC)
+
+    def test_forced_input_mux(self):
+        config = RouterConfig(
+            crossbar=CrossbarKind.FULL,
+            qos_policy=VC,
+            qos_placement=QosPlacement.INPUT_MUX,
+        )
+        assert config.resolve_mux_policies() == (VC, FIFO)
+
+    def test_forced_vc_mux(self):
+        config = RouterConfig(
+            qos_policy=VC, qos_placement=QosPlacement.VC_MUX
+        )
+        assert config.resolve_mux_policies() == (FIFO, VC)
+
+    def test_both(self):
+        config = RouterConfig(qos_policy=VC, qos_placement=QosPlacement.BOTH)
+        assert config.resolve_mux_policies() == (VC, VC)
+
+    def test_none_is_all_fifo(self):
+        config = RouterConfig(qos_policy=VC, qos_placement=QosPlacement.NONE)
+        assert config.resolve_mux_policies() == (FIFO, FIFO)
+        assert config.ni_policy == FIFO
+
+    def test_ni_follows_qos_policy_otherwise(self):
+        config = RouterConfig(qos_policy=VC)
+        assert config.ni_policy == VC
+
+    def test_rejects_unknown_placement(self):
+        with pytest.raises(ConfigurationError):
+            RouterConfig(qos_placement="everywhere")
+
+
+class TestPlacementBehaviour:
+    @pytest.mark.parametrize("placement", QosPlacement.ALL)
+    def test_every_placement_delivers(self, placement):
+        net = make_network(qos_placement=placement)
+        messages = [
+            make_message(src=s, dst=(s + 1) % 4, size=5, src_vc=s % 4,
+                         dst_vc=s % 4)
+            for s in range(4)
+        ]
+        for msg in messages:
+            net.inject_now(msg)
+        deliver_all(net)
+        assert all(m.deliver_time > 0 for m in messages)
+
+    def test_none_placement_ignores_vtick(self):
+        # All-FIFO placement: a tiny Vtick buys nothing at the NI mux
+        # (FIFO tie-break by VC index wins instead).
+        net = make_network(qos_placement=QosPlacement.NONE)
+        slow = make_message(size=8, vtick=500.0, src_vc=0, dst_vc=0)
+        fast = make_message(size=8, vtick=5.0, src_vc=1, dst_vc=1)
+        net.inject_now(slow)
+        net.inject_now(fast)
+        deliver_all(net)
+        assert slow.deliver_time < fast.deliver_time
+
+    def test_vc_mux_placement_still_honours_rates_downstream(self):
+        net = make_network(qos_placement=QosPlacement.VC_MUX)
+        msg = make_message(size=6)
+        net.inject_now(msg)
+        deliver_all(net)
+        assert msg.deliver_time > 0

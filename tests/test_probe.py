@@ -1,0 +1,119 @@
+"""Link utilisation probing and fat-link load balance."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import FatMeshExperiment
+from repro.metrics.collector import MetricsCollector
+from repro.network.network import Network
+from repro.network.probe import UtilizationProbe
+from repro.network.topology import fat_mesh_2x2
+from repro.sim.rng import RngStreams
+from repro.traffic.mix import build_workload
+
+from conftest import deliver_all, make_message, make_network
+
+
+class TestUtilizationProbe:
+    def test_counts_only_after_reset(self):
+        net = make_network()
+        net.inject_now(make_message(size=10))
+        deliver_all(net)
+        probe = UtilizationProbe(net)  # resets at current clock
+        measured = probe.measure()
+        assert all(u.flits == 0 for u in measured)
+
+    def test_measures_flits_on_destination_port(self):
+        net = make_network()
+        probe = UtilizationProbe(net)
+        net.inject_now(make_message(src=0, dst=2, size=10))
+        deliver_all(net)
+        by_port = {u.port: u for u in probe.measure()}
+        assert by_port[2].flits == 10
+        assert by_port[1].flits == 0
+        assert by_port[2].is_host_port
+
+    def test_utilization_fraction(self):
+        net = make_network()
+        probe = UtilizationProbe(net)
+        net.inject_now(make_message(src=0, dst=1, size=10))
+        deliver_all(net)
+        util = {u.port: u.utilization for u in probe.measure()}
+        assert 0 < util[1] <= 1.0
+
+    def test_zero_cycles_is_nan(self):
+        net = make_network()
+        probe = UtilizationProbe(net)
+        assert math.isnan(probe.measure()[0].utilization)
+
+    def test_hottest_orders_by_flits(self):
+        net = make_network()
+        probe = UtilizationProbe(net)
+        net.inject_now(make_message(src=0, dst=1, size=20))
+        net.inject_now(make_message(src=2, dst=3, size=5, src_vc=1, dst_vc=1))
+        deliver_all(net)
+        hottest = probe.hottest(2)
+        assert hottest[0].flits >= hottest[1].flits
+        assert hottest[0].port == 1
+
+    def test_fat_group_validation(self):
+        net = make_network()
+        probe = UtilizationProbe(net)
+        with pytest.raises(ConfigurationError):
+            probe.fat_group_balance(0, (1,))
+        with pytest.raises(ConfigurationError):
+            probe.fat_group_balance(0, (97, 98))
+
+    def test_fat_group_balance_no_traffic_is_nan(self):
+        net = make_network()
+        probe = UtilizationProbe(net)
+        assert math.isnan(probe.fat_group_balance(0, (1, 2)))
+
+
+class TestFatLinkBalance:
+    def test_fat_links_share_load(self):
+        """Load-based fat-link selection splits inter-switch traffic."""
+        experiment = FatMeshExperiment(
+            load=0.6,
+            mix=(100, 0),
+            scale=60.0,
+            warmup_frames=1,
+            measure_frames=3,
+            seed=1,
+        )
+        topology = fat_mesh_2x2()
+        collector = MetricsCollector(experiment.timebase)
+        net = Network(
+            topology,
+            experiment.router_config(topology.ports_per_router),
+            on_message=collector.on_message,
+        )
+        build_workload(net, experiment.workload_config(), RngStreams(1))
+        probe = UtilizationProbe(net)
+        net.run(experiment.total_cycles)
+
+        # router 0's +X fat group toward router 1 is ports (4, 5)
+        balance = probe.fat_group_balance(0, (4, 5))
+        assert balance == balance, "fat links carried no traffic"
+        assert balance > 0.4, f"fat link load badly skewed: {balance:.2f}"
+
+    def test_inter_switch_links_carry_traffic(self):
+        experiment = FatMeshExperiment(
+            load=0.5,
+            mix=(100, 0),
+            scale=80.0,
+            warmup_frames=1,
+            measure_frames=2,
+            seed=2,
+        )
+        topology = fat_mesh_2x2()
+        net = Network(
+            topology, experiment.router_config(topology.ports_per_router)
+        )
+        build_workload(net, experiment.workload_config(), RngStreams(2))
+        probe = UtilizationProbe(net)
+        net.run(experiment.total_cycles)
+        inter = [u for u in probe.measure() if not u.is_host_port]
+        assert any(u.flits > 0 for u in inter)

@@ -1,0 +1,148 @@
+"""Property-based tests: network invariants under randomised workloads."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedulers import SchedulingPolicy
+from repro.router.config import CrossbarKind
+from repro.router.flit import Message, TrafficClass
+
+from conftest import make_network
+
+
+message_strategy = st.builds(
+    dict,
+    src=st.integers(min_value=0, max_value=3),
+    dst_offset=st.integers(min_value=1, max_value=3),
+    size=st.integers(min_value=1, max_value=12),
+    src_vc=st.integers(min_value=0, max_value=3),
+    dst_vc=st.integers(min_value=0, max_value=3),
+    vtick=st.floats(min_value=1.0, max_value=1e4),
+    delay=st.integers(min_value=0, max_value=50),
+)
+
+
+def _build_and_run(specs, policy, crossbar, depth=3):
+    net = make_network(
+        ports=4, vcs=4, depth=depth, policy=policy, crossbar=crossbar
+    )
+    messages = []
+    for spec in specs:
+        msg = Message(
+            src_node=spec["src"],
+            dst_node=(spec["src"] + spec["dst_offset"]) % 4,
+            size=spec["size"],
+            vtick=spec["vtick"],
+            traffic_class=TrafficClass.VBR,
+            src_vc=spec["src_vc"],
+            dst_vc=spec["dst_vc"],
+        )
+        messages.append(msg)
+        net.schedule_message(spec["delay"], msg)
+    net.run_until_drained(max_extra=200_000, drain_events=True)
+    return net, messages
+
+
+common_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestNetworkProperties:
+    @common_settings
+    @given(specs=st.lists(message_strategy, min_size=1, max_size=25))
+    def test_no_flit_lost_or_duplicated(self, specs):
+        net, messages = _build_and_run(
+            specs, SchedulingPolicy.VIRTUAL_CLOCK, CrossbarKind.MULTIPLEXED
+        )
+        assert net.flits_ejected == sum(m.size for m in messages)
+        net.check_invariants()
+
+    @common_settings
+    @given(specs=st.lists(message_strategy, min_size=1, max_size=25))
+    def test_every_message_delivered_exactly_once(self, specs):
+        delivered = []
+        net = make_network(
+            ports=4, vcs=4, on_message=lambda m, t: delivered.append(m.msg_id)
+        )
+        messages = []
+        for spec in specs:
+            msg = Message(
+                src_node=spec["src"],
+                dst_node=(spec["src"] + spec["dst_offset"]) % 4,
+                size=spec["size"],
+                vtick=spec["vtick"],
+                traffic_class=TrafficClass.VBR,
+                src_vc=spec["src_vc"],
+                dst_vc=spec["dst_vc"],
+            )
+            messages.append(msg)
+            net.schedule_message(spec["delay"], msg)
+        net.run_until_drained(max_extra=200_000, drain_events=True)
+        assert sorted(delivered) == sorted(m.msg_id for m in messages)
+
+    @common_settings
+    @given(specs=st.lists(message_strategy, min_size=1, max_size=20))
+    def test_full_crossbar_preserves_conservation(self, specs):
+        net, messages = _build_and_run(
+            specs, SchedulingPolicy.VIRTUAL_CLOCK, CrossbarKind.FULL
+        )
+        assert net.flits_ejected == sum(m.size for m in messages)
+
+    @common_settings
+    @given(
+        specs=st.lists(message_strategy, min_size=1, max_size=20),
+        policy=st.sampled_from(
+            [
+                SchedulingPolicy.FIFO,
+                SchedulingPolicy.VIRTUAL_CLOCK,
+                SchedulingPolicy.ROUND_ROBIN,
+            ]
+        ),
+    )
+    def test_all_policies_drain(self, specs, policy):
+        net, messages = _build_and_run(
+            specs, policy, CrossbarKind.MULTIPLEXED
+        )
+        assert net.flits_in_flight == 0
+
+    @common_settings
+    @given(
+        specs=st.lists(message_strategy, min_size=1, max_size=15),
+        depth=st.integers(min_value=1, max_value=8),
+    )
+    def test_any_buffer_depth_drains(self, specs, depth):
+        net, messages = _build_and_run(
+            specs,
+            SchedulingPolicy.VIRTUAL_CLOCK,
+            CrossbarKind.MULTIPLEXED,
+            depth=depth,
+        )
+        assert net.flits_ejected == sum(m.size for m in messages)
+
+    @common_settings
+    @given(specs=st.lists(message_strategy, min_size=2, max_size=15))
+    def test_same_vc_messages_deliver_in_injection_order(self, specs):
+        # Fix all messages to one (src, vc) pair: wormhole guarantees
+        # they arrive in injection order.
+        order = []
+        net = make_network(
+            ports=4, vcs=4, on_message=lambda m, t: order.append(m.msg_id)
+        )
+        injected = []
+        for i, spec in enumerate(specs):
+            msg = Message(
+                src_node=0,
+                dst_node=1,
+                size=spec["size"],
+                vtick=spec["vtick"],
+                traffic_class=TrafficClass.VBR,
+                src_vc=0,
+                dst_vc=spec["dst_vc"],
+            )
+            injected.append(msg)
+            net.schedule_message(i, msg)  # strictly increasing times
+        net.run_until_drained(max_extra=200_000, drain_events=True)
+        assert order == [m.msg_id for m in injected]

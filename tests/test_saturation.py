@@ -1,0 +1,106 @@
+"""Saturation-load bisection."""
+
+import math
+
+import pytest
+
+from repro.analysis.saturation import find_saturation_load
+from repro.errors import ConfigurationError
+
+
+def _threshold_runner(knee: float, calls=None):
+    """Jitter-free below ``knee``, jittery above."""
+
+    def runner(load: float):
+        if calls is not None:
+            calls.append(load)
+        if load <= knee:
+            return 33.0, 0.1
+        return 34.5, 5.0
+
+    return runner
+
+
+class TestFindSaturationLoad:
+    def test_finds_knee(self):
+        search = find_saturation_load(
+            _threshold_runner(0.82), low=0.5, high=1.0, tolerance=0.02
+        )
+        assert search.resolved
+        assert search.capacity == pytest.approx(0.82, abs=0.02)
+        assert search.first_jittery > search.capacity
+
+    def test_all_jittery(self):
+        search = find_saturation_load(
+            _threshold_runner(0.2), low=0.5, high=1.0
+        )
+        assert math.isnan(search.capacity)
+        assert search.first_jittery == 0.5
+        assert not search.resolved
+
+    def test_never_jitters(self):
+        search = find_saturation_load(
+            _threshold_runner(2.0), low=0.5, high=1.0
+        )
+        assert search.capacity == 1.0
+        assert math.isnan(search.first_jittery)
+
+    def test_probe_budget_respected(self):
+        calls = []
+        find_saturation_load(
+            _threshold_runner(0.7531, calls),
+            low=0.5,
+            high=1.0,
+            tolerance=1e-9,
+            max_probes=6,
+        )
+        assert len(calls) <= 6
+
+    def test_probes_recorded(self):
+        search = find_saturation_load(
+            _threshold_runner(0.8), low=0.5, high=1.0, tolerance=0.05
+        )
+        assert search.probes[0][0] == 0.5
+        assert search.probes[1][0] == 1.0
+        assert all(len(p) == 4 for p in search.probes)
+
+    def test_bracket_invariant(self):
+        # every jitter-free probe is below every jittery probe
+        search = find_saturation_load(
+            _threshold_runner(0.66), low=0.5, high=1.0, tolerance=0.01
+        )
+        good = [p[0] for p in search.probes if p[3]]
+        bad = [p[0] for p in search.probes if not p[3]]
+        assert max(good) < min(bad)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            find_saturation_load(_threshold_runner(0.8), low=1.0, high=0.5)
+        with pytest.raises(ConfigurationError):
+            find_saturation_load(
+                _threshold_runner(0.8), low=0.5, high=1.0, tolerance=0
+            )
+
+    def test_with_real_simulation(self):
+        # a coarse end-to-end check: tiny single-switch runs have a
+        # capacity somewhere at or above moderate load
+        from repro.experiments.config import SingleSwitchExperiment
+        from repro.experiments.runner import simulate_single_switch
+
+        def runner(load):
+            metrics = simulate_single_switch(
+                SingleSwitchExperiment(
+                    load=load,
+                    mix=(100, 0),
+                    scale=100.0,
+                    warmup_frames=1,
+                    measure_frames=2,
+                    seed=4,
+                )
+            ).metrics
+            return metrics.d, metrics.sigma_d
+
+        search = find_saturation_load(
+            runner, low=0.4, high=1.0, tolerance=0.2, sigma_tolerance_ms=2.0
+        )
+        assert search.capacity >= 0.4
