@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-default repro examples clean
+.PHONY: install test bench bench-default repro faults-smoke examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,6 +18,11 @@ bench-default:    ## the EXPERIMENTS.md setting (slow)
 
 repro:            ## regenerate every figure/table at the default profile
 	$(PYTHON) -m repro.experiments.cli all --profile default
+
+faults-smoke:     ## 2-point fault campaign (VC + FIFO at 0.5% loss), CI-sized
+	$(PYTHON) -m repro.experiments.cli faults --profile quick \
+		--rates 0.005 --fresh \
+		--checkpoint mediaworm-faults-smoke.checkpoint.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

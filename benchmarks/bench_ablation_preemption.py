@@ -24,6 +24,8 @@ from repro.traffic.mix import build_workload
 
 LOAD = 0.95
 MIX = (90, 10)
+#: kill-and-retransmit backoff for the preemptive configuration
+PREEMPTION_BACKOFF = 64
 
 
 def _run(profile, dynamic: bool, preemption: bool):
@@ -42,6 +44,7 @@ def _run(profile, dynamic: bool, preemption: bool):
         experiment.router_config(experiment.num_ports),
         dynamic_partitioning=dynamic,
         preemption=preemption,
+        preemption_backoff=PREEMPTION_BACKOFF,
     )
     network = Network(
         single_switch(experiment.num_ports),

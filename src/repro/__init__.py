@@ -28,10 +28,19 @@ from repro.core import (
 from repro.errors import (
     AdmissionError,
     ConfigurationError,
+    DeadlockError,
+    FaultConfigError,
     FlowControlError,
     ReproError,
     RoutingError,
     SimulationError,
+)
+from repro.faults import (
+    FaultPlan,
+    LinkDownWindow,
+    RecoveryConfig,
+    install_faults,
+    install_recovery,
 )
 from repro.metrics import MetricsCollector, RunMetrics
 from repro.network import (
@@ -68,15 +77,20 @@ __all__ = [
     "AdmissionError",
     "ConfigurationError",
     "CrossbarKind",
+    "DeadlockError",
     "FatMeshExperiment",
     "FatTreeExperiment",
+    "FaultConfigError",
+    "FaultPlan",
     "FlowControlError",
+    "LinkDownWindow",
     "LinkSpec",
     "Message",
     "MetricsCollector",
     "Network",
     "PCSExperiment",
     "QosPlacement",
+    "RecoveryConfig",
     "ReproError",
     "RngStreams",
     "RouterConfig",
@@ -95,6 +109,8 @@ __all__ = [
     "fat_mesh",
     "fat_mesh_2x2",
     "fat_tree",
+    "install_faults",
+    "install_recovery",
     "mediaworm_router_config",
     "simulate_fat_mesh",
     "simulate_fat_tree",

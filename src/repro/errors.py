@@ -14,8 +14,20 @@ class ConfigurationError(ReproError):
     """A configuration object is inconsistent or out of range."""
 
 
+class FaultConfigError(ConfigurationError):
+    """A fault-injection plan is inconsistent or names unknown hardware."""
+
+
 class SimulationError(ReproError):
     """The simulation reached an internally inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """The watchdog saw no progress while flits were still in flight.
+
+    Carries a diagnostic dump of every occupied virtual channel so the
+    wedged routers/VCs can be identified from the exception alone.
+    """
 
 
 class RoutingError(SimulationError):

@@ -6,6 +6,7 @@ Examples::
     mediaworm run fig3 --profile quick
     mediaworm run table3
     mediaworm all --profile default
+    mediaworm faults --profile quick --rates 0,0.01
 """
 
 from __future__ import annotations
@@ -13,14 +14,22 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 from typing import List, Optional
 
-from repro.experiments.figures import FIGURES, PROFILES, run_mixed_grid
+from repro.errors import SimulationError
+from repro.experiments.figures import (
+    FIGURES,
+    PROFILES,
+    get_profile,
+    run_mixed_grid,
+)
 from repro.experiments.report import (
     figure_to_text,
     table2_to_text,
     table3_to_text,
 )
+from repro.experiments.resilience import RESEED_STEP, SweepCheckpoint
 from repro.experiments.tables import TABLES, run_table2, run_table3
 
 _DESCRIPTIONS = {
@@ -33,6 +42,7 @@ _DESCRIPTIONS = {
     "fig9": "2x2 fat-mesh performance",
     "table2": "Best-effort latency per mix and load",
     "table3": "PCS connection drop accounting",
+    "faults": "QoS degradation under link faults (fat mesh)",
 }
 
 
@@ -92,6 +102,73 @@ def _check(fig) -> str:
     return "paper claims:\n" + claims_to_text(check_claims(fig))
 
 
+def _run_one_resilient(
+    name: str,
+    profile: str,
+    attempts: int = 3,
+    **kwargs,
+) -> str:
+    """Run one experiment, retrying with a reseeded profile on failure."""
+    base = get_profile(profile)
+    last_error = None
+    for attempt in range(attempts):
+        trial = (
+            base
+            if attempt == 0
+            else replace(base, seed=base.seed + attempt * RESEED_STEP)
+        )
+        try:
+            return _run_one(name, trial, **kwargs)
+        except SimulationError as exc:
+            last_error = exc
+            print(
+                f"[{name} attempt {attempt + 1} failed "
+                f"({type(exc).__name__}); retrying with a fresh seed]",
+                file=sys.stderr,
+            )
+    raise last_error
+
+
+def _run_faults(args) -> int:
+    """The ``mediaworm faults`` subcommand: a checkpointed fault campaign."""
+    from repro.experiments.faultsweep import (
+        DEFAULT_FAULT_RATES,
+        fault_campaign_to_text,
+        run_fault_campaign,
+    )
+
+    if args.rates:
+        try:
+            rates = tuple(float(r) for r in args.rates.split(","))
+        except ValueError:
+            raise SystemExit(f"--rates must be comma-separated floats, got {args.rates!r}")
+        for rate in rates:
+            if not 0.0 <= rate <= 1.0:
+                raise SystemExit(f"fault rates must be in [0, 1], got {rate}")
+    else:
+        rates = DEFAULT_FAULT_RATES
+    path = args.checkpoint or f"mediaworm-faults-{args.profile}.checkpoint.json"
+    checkpoint = SweepCheckpoint(
+        path,
+        meta={
+            "command": "faults",
+            "profile": args.profile,
+            "rates": [f"{r:g}" for r in rates],
+        },
+    )
+    if args.fresh:
+        checkpoint.clear()
+    started = time.perf_counter()
+    fig = run_fault_campaign(
+        args.profile, rates, checkpoint=checkpoint, log=print
+    )
+    _maybe_save(args.json, fig)
+    print(fault_campaign_to_text(fig))
+    print(f"[faults completed in {time.perf_counter() - started:.1f}s]")
+    checkpoint.clear()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI dispatcher (installed as the ``mediaworm`` script)."""
     parser = argparse.ArgumentParser(
@@ -131,6 +208,46 @@ def main(argv: Optional[List[str]] = None) -> int:
     all_parser.add_argument(
         "--profile", choices=sorted(PROFILES), default="default"
     )
+    all_parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="checkpoint file (default: mediaworm-all-<profile>"
+        ".checkpoint.json); an interrupted run resumes from it",
+    )
+    all_parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="discard any existing checkpoint and recompute everything",
+    )
+
+    faults_parser = sub.add_parser(
+        "faults", help="fault-injection campaign (delivered fraction, jitter)"
+    )
+    faults_parser.add_argument(
+        "--profile", choices=sorted(PROFILES), default="default"
+    )
+    faults_parser.add_argument(
+        "--rates",
+        metavar="R1,R2,...",
+        default=None,
+        help="comma-separated per-flit loss probabilities",
+    )
+    faults_parser.add_argument(
+        "--json", metavar="PATH", default=None, help="also write JSON"
+    )
+    faults_parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="checkpoint file (default: mediaworm-faults-<profile>"
+        ".checkpoint.json)",
+    )
+    faults_parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="discard any existing checkpoint and recompute everything",
+    )
 
     args = parser.parse_args(argv)
 
@@ -138,6 +255,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name, desc in _DESCRIPTIONS.items():
             print(f"{name:8s} {desc}")
         return 0
+
+    if args.command == "faults":
+        return _run_faults(args)
 
     names = (
         [args.experiment]
@@ -147,14 +267,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     plot = getattr(args, "plot", False)
     json_path = getattr(args, "json", None)
     check = getattr(args, "check", False)
+    checkpoint = None
+    if args.command == "all":
+        path = (
+            args.checkpoint
+            or f"mediaworm-all-{args.profile}.checkpoint.json"
+        )
+        checkpoint = SweepCheckpoint(
+            path, meta={"command": "all", "profile": args.profile}
+        )
+        if args.fresh:
+            checkpoint.clear()
+        restored = [name for name in names if name in checkpoint]
+        if restored:
+            print(
+                f"[resuming from {path}: "
+                f"{', '.join(restored)} already done]\n"
+            )
     for name in names:
         started = time.perf_counter()
-        text = _run_one(
+        if checkpoint is not None and name in checkpoint:
+            print(checkpoint.get(name))
+            print(f"[{name} restored from checkpoint]\n")
+            continue
+        text = _run_one_resilient(
             name, args.profile, plot=plot, json_path=json_path, check=check
         )
         elapsed = time.perf_counter() - started
         print(text)
         print(f"[{name} completed in {elapsed:.1f}s]\n")
+        if checkpoint is not None:
+            checkpoint.put(name, text)
+    if checkpoint is not None:
+        checkpoint.clear()
     return 0
 
 

@@ -17,6 +17,7 @@ from typing import Optional, Tuple
 
 from repro.core.schedulers import SchedulingPolicy
 from repro.errors import ConfigurationError
+from repro.faults import FaultPlan, RecoveryConfig
 from repro.router.config import CrossbarKind, QosPlacement, RouterConfig
 from repro.router.flit import TrafficClass
 from repro.sim.units import LinkSpec, TimeBase, WorkloadScale
@@ -49,6 +50,14 @@ class _BaseExperiment:
     balanced_destinations: bool = True
     #: best-effort inter-arrival process: "deterministic" or "poisson"
     be_process: str = "deterministic"
+    #: optional fault-injection plan; a zero plan (or None) leaves the
+    #: run bit-identical to a fault-free simulation
+    faults: Optional[FaultPlan] = None
+    #: optional end-to-end checksum + timeout/retransmission transport
+    recovery: Optional[RecoveryConfig] = None
+    #: progress watchdog: raise DeadlockError after this many cycles
+    #: without a flit delivery while flits are in flight (None = off)
+    watchdog_window: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.warmup_frames < 1 or self.measure_frames < 1:

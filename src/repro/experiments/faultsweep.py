@@ -1,0 +1,188 @@
+"""Fault campaign: QoS under link faults (beyond the paper's evaluation).
+
+The paper evaluates MediaWorm on a fault-free fabric.  This sweep asks
+the robustness question the original evaluation leaves open: how do the
+two schedulers (Virtual Clock vs FIFO) degrade when the fat-mesh links
+start dropping flits?  Each point runs the 2x2 fat mesh at a fixed load
+and mix with a :class:`~repro.faults.FaultPlan` injecting per-flit loss
+at the given rate, the end-to-end recovery transport picking up the
+pieces, and the progress watchdog bounding wedged runs.
+
+Results are delivered-fraction and jitter versus fault rate, one series
+per scheduler, checkpointed per point so an interrupted campaign
+resumes where it stopped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.schedulers import SchedulingPolicy
+from repro.errors import SimulationError
+from repro.experiments.config import FatMeshExperiment
+from repro.experiments.figures import (
+    FigureData,
+    Point,
+    _base_kwargs,
+    get_profile,
+)
+from repro.experiments.resilience import SweepCheckpoint, run_resilient
+from repro.experiments.runner import simulate_fat_mesh
+from repro.faults import FaultPlan, RecoveryConfig
+from repro.metrics.collector import RunMetrics
+
+#: per-flit loss probabilities swept by ``mediaworm faults``
+DEFAULT_FAULT_RATES = (0.0, 0.001, 0.005, 0.01, 0.02)
+
+#: campaign operating point: the fat mesh at moderate load, 80:20 mix
+CAMPAIGN_LOAD = 0.7
+CAMPAIGN_MIX = (80, 20)
+
+
+def _campaign_experiment(profile, policy: str, rate: float) -> FatMeshExperiment:
+    """One campaign point: fat mesh + fault plan + scaled recovery."""
+    base = FatMeshExperiment(
+        load=CAMPAIGN_LOAD,
+        mix=CAMPAIGN_MIX,
+        scheduler=policy,
+        vcs_per_pc=16,
+        **_base_kwargs(profile),
+    )
+    # Scale the transport's clocks to the workload.  The timeout runs
+    # from the header flit leaving the NI and must cover the message's
+    # own rate pacing (~message_size * vtick, a fifth of a frame
+    # interval here) plus transit and contention; half an interval
+    # leaves ample slack without delaying loss detection much.
+    interval = base.workload_config().frame_interval_cycles
+    timeout = max(512, interval // 2)
+    recovery = RecoveryConfig(
+        timeout=timeout,
+        max_retries=6,
+        backoff_base=max(16, interval // 256),
+        backoff_cap=max(64, interval // 16),
+    )
+    return dataclasses.replace(
+        base,
+        faults=FaultPlan(flit_loss_prob=rate),
+        recovery=recovery,
+        watchdog_window=2 * interval,
+    )
+
+
+def _point_key(policy: str, rate: float) -> str:
+    return f"{policy}@{rate:g}"
+
+
+def _empty_metrics() -> RunMetrics:
+    """Placeholder metrics for a point that failed every retry."""
+    return RunMetrics(
+        mean_delivery_interval_ms=0.0,
+        std_delivery_interval_ms=0.0,
+        frames_delivered=0,
+        interval_count=0,
+        be_latency_us=0.0,
+        be_latency_us_paper_equivalent=0.0,
+        be_latency_std_us=0.0,
+        be_message_count=0,
+    )
+
+
+def _point_to_dict(point: Point) -> Dict:
+    return {
+        "x": point.x,
+        "metrics": dataclasses.asdict(point.metrics),
+        "extra": point.extra,
+    }
+
+
+def _point_from_dict(data: Dict) -> Point:
+    return Point(
+        x=data["x"],
+        metrics=RunMetrics(**data["metrics"]),
+        extra=dict(data.get("extra") or {}),
+    )
+
+
+def run_fault_campaign(
+    profile="default",
+    rates: Optional[Sequence[float]] = None,
+    checkpoint: Optional[SweepCheckpoint] = None,
+    log=None,
+) -> FigureData:
+    """Sweep flit-loss rates for both schedulers on the fat mesh.
+
+    With a ``checkpoint``, every completed point is persisted and a
+    rerun with the same metadata skips straight past it; a point that
+    keeps failing after the resilient retries records a ``failed`` extra
+    instead of aborting the campaign.
+    """
+    profile = get_profile(profile)
+    rates = DEFAULT_FAULT_RATES if rates is None else tuple(rates)
+    series: Dict[str, List[Point]] = {}
+    for policy in (SchedulingPolicy.VIRTUAL_CLOCK, SchedulingPolicy.FIFO):
+        points: List[Point] = []
+        for rate in rates:
+            key = _point_key(policy, rate)
+            if checkpoint is not None and key in checkpoint:
+                points.append(_point_from_dict(checkpoint.get(key)))
+                if log is not None:
+                    log(f"[faults] {key}: restored from checkpoint")
+                continue
+            experiment = _campaign_experiment(profile, policy, rate)
+            try:
+                result = run_resilient(simulate_fat_mesh, experiment)
+            except SimulationError as exc:
+                point = Point(
+                    rate,
+                    _empty_metrics(),
+                    extra={"failed": f"{type(exc).__name__}: {exc}"},
+                )
+                points.append(point)
+                if checkpoint is not None:
+                    checkpoint.put(key, _point_to_dict(point))
+                if log is not None:
+                    log(f"[faults] {key}: FAILED ({type(exc).__name__})")
+                continue
+            point = Point(rate, result.metrics, extra=result.fault_stats or {})
+            points.append(point)
+            if checkpoint is not None:
+                checkpoint.put(key, _point_to_dict(point))
+        series[policy] = points
+    return FigureData(
+        figure_id="faults",
+        title="QoS under link faults (2x2 fat mesh, 80:20 mix, load 0.7)",
+        xlabel="per-flit loss probability",
+        series=series,
+        notes="end-to-end recovery enabled (checksum + timeout/"
+        "retransmission with capped exponential backoff)",
+    )
+
+
+def fault_campaign_to_text(fig: FigureData) -> str:
+    """Render the campaign as an aligned terminal table."""
+    header = (
+        f"{'scheduler':<14} {'loss rate':>9} {'delivered':>9} "
+        f"{'d (ms)':>8} {'sigma_d':>8} {'lost':>7} {'rexmit':>7} "
+        f"{'abandoned':>9}"
+    )
+    lines = [fig.title, header, "-" * len(header)]
+    for name, points in fig.series.items():
+        for point in points:
+            extra = point.extra
+            if "failed" in extra:
+                lines.append(
+                    f"{name:<14} {point.x:>9g} {'FAILED: ' + str(extra['failed'])}"
+                )
+                continue
+            delivered = extra.get("delivered_fraction", 1.0)
+            lines.append(
+                f"{name:<14} {point.x:>9g} {delivered:>9.4f} "
+                f"{point.d:>8.3f} {point.sigma_d:>8.3f} "
+                f"{extra.get('flits_lost', 0):>7} "
+                f"{extra.get('retransmissions', 0):>7} "
+                f"{extra.get('abandoned', 0):>9}"
+            )
+    if fig.notes:
+        lines.append(f"({fig.notes})")
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Sweep resilience: checkpointing and retry-with-reseed.
+
+Long sweeps (``mediaworm all``, fault campaigns) should survive two
+kinds of trouble:
+
+* **the process dying** — every completed unit of work is persisted to
+  a JSON checkpoint (atomic write: temp file + rename), so a rerun
+  skips finished work instead of recomputing it;
+* **a single point failing** — a :class:`~repro.errors.SimulationError`
+  (including the watchdog's :class:`~repro.errors.DeadlockError`) at
+  one sweep point triggers a bounded retry with a reseeded experiment
+  rather than aborting the whole campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+from typing import Callable, Dict, Optional
+
+from repro.errors import SimulationError
+
+#: seed offset between retry attempts (a prime, so reseeded retries of
+#: neighbouring points never collide on the same effective seed)
+RESEED_STEP = 1009
+
+_FORMAT = "mediaworm-checkpoint-v1"
+
+
+class SweepCheckpoint:
+    """A JSON checkpoint of completed sweep work.
+
+    ``meta`` identifies the sweep (profile, rates, ...); loading a file
+    whose metadata disagrees discards it, so a checkpoint can never
+    splice results from a differently configured run into this one.
+    Values must be JSON-serialisable.
+    """
+
+    def __init__(self, path: str, meta: Dict[str, object]) -> None:
+        self.path = str(path)
+        self.meta = dict(meta)
+        self._done: Dict[str, object] = {}
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                raw = json.load(fh)
+        except (OSError, ValueError):
+            return
+        if (
+            not isinstance(raw, dict)
+            or raw.get("format") != _FORMAT
+            or raw.get("meta") != self.meta
+        ):
+            return
+        done = raw.get("done")
+        if isinstance(done, dict):
+            self._done = done
+
+    def _save(self) -> None:
+        payload = {"format": _FORMAT, "meta": self.meta, "done": self._done}
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        os.replace(tmp, self.path)
+
+    def get(self, key: str):
+        """The stored value for ``key``, or ``None`` when not done."""
+        return self._done.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._done
+
+    def put(self, key: str, value) -> None:
+        """Record one completed unit of work and persist immediately."""
+        self._done[key] = value
+        self._save()
+
+    @property
+    def done_keys(self):
+        """Keys completed so far, in completion order."""
+        return list(self._done)
+
+    def clear(self) -> None:
+        """Delete the checkpoint file (sweep finished or restarted)."""
+        self._done = {}
+        try:
+            os.remove(self.path)
+        except OSError:
+            pass
+
+
+def run_resilient(
+    runner: Callable,
+    experiment,
+    attempts: int = 3,
+    reseed_step: int = RESEED_STEP,
+    cycle_budget: Optional[int] = None,
+    on_retry: Optional[Callable[[int, SimulationError], None]] = None,
+):
+    """Run one sweep point, retrying with a fresh seed on failure.
+
+    ``cycle_budget`` arms the progress watchdog for experiments that do
+    not set one themselves, bounding how long a wedged point can burn
+    before its :class:`~repro.errors.DeadlockError` triggers the retry.
+    The last attempt's error propagates when every retry fails.
+    """
+    if attempts < 1:
+        raise SimulationError(f"need at least one attempt, got {attempts}")
+    if cycle_budget is not None and experiment.watchdog_window is None:
+        experiment = replace(experiment, watchdog_window=cycle_budget)
+    last_error: Optional[SimulationError] = None
+    for attempt in range(attempts):
+        trial = (
+            experiment
+            if attempt == 0
+            else replace(experiment, seed=experiment.seed + attempt * reseed_step)
+        )
+        try:
+            return runner(trial)
+        except SimulationError as exc:
+            last_error = exc
+            if on_retry is not None:
+                on_retry(attempt, exc)
+    raise last_error

@@ -9,9 +9,10 @@ best-effort latency) in paper units.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional
 
+from repro.faults import install_faults, install_recovery
 from repro.metrics.collector import MetricsCollector, RunMetrics
 from repro.network.network import Network
 from repro.network.topology import fat_mesh, fat_tree, single_switch
@@ -32,6 +33,9 @@ class ExperimentResult:
     flits_injected: int
     flits_ejected: int
     wall_seconds: float
+    #: fault/recovery accounting, present only when the experiment
+    #: carried a fault plan or a recovery config
+    fault_stats: Optional[Dict[str, object]] = None
 
     @property
     def achieved_load(self) -> float:
@@ -59,17 +63,52 @@ def _run_network(experiment, network: Network, collector: MetricsCollector):
     return time.perf_counter() - started
 
 
-def simulate_single_switch(experiment) -> ExperimentResult:
-    """Run one single-switch configuration (sections 5.1-5.6)."""
+def _install_extras(experiment, network: Network, rngs: RngStreams) -> None:
+    """Attach the experiment's optional fault plan and recovery transport.
+
+    Shares the workload's ``RngStreams`` so fault substreams derive from
+    the same master seed without perturbing any traffic substream.
+    """
+    plan = getattr(experiment, "faults", None)
+    if plan is not None:
+        install_faults(network, plan, rngs)
+    recovery = getattr(experiment, "recovery", None)
+    if recovery is not None:
+        install_recovery(network, recovery)
+
+
+def _fault_stats(network: Network) -> Optional[Dict[str, object]]:
+    """Summarise fault/recovery accounting, or ``None`` when unused."""
+    if network.fault_injector is None and network.transport is None:
+        return None
+    stats: Dict[str, object] = {
+        "flits_lost": network.flits_lost,
+        "flits_corrupted": network.flits_corrupted,
+    }
+    if network.fault_injector is not None:
+        stats["faulted_links"] = network.fault_injector.faulted_links
+    if network.transport is not None:
+        transport = network.transport.stats
+        stats.update(asdict(transport))
+        stats["delivered_fraction"] = transport.delivered_fraction
+    return stats
+
+
+def _simulate_wormhole(experiment, topology) -> ExperimentResult:
+    """Shared runner body for the wormhole-network experiment types."""
     collector = MetricsCollector(
         experiment.timebase, warmup=experiment.warmup_cycles
     )
-    topology = single_switch(experiment.num_ports)
-    config = experiment.router_config(experiment.num_ports)
-    network = Network(topology, config, on_message=collector.on_message)
-    workload = build_workload(
-        network, experiment.workload_config(), RngStreams(experiment.seed)
+    config = experiment.router_config(topology.ports_per_router)
+    network = Network(
+        topology,
+        config,
+        on_message=collector.on_message,
+        watchdog_window=getattr(experiment, "watchdog_window", None),
     )
+    rngs = RngStreams(experiment.seed)
+    _install_extras(experiment, network, rngs)
+    workload = build_workload(network, experiment.workload_config(), rngs)
     wall = _run_network(experiment, network, collector)
     return ExperimentResult(
         experiment=experiment,
@@ -79,7 +118,13 @@ def simulate_single_switch(experiment) -> ExperimentResult:
         flits_injected=network.flits_injected,
         flits_ejected=network.flits_ejected,
         wall_seconds=wall,
+        fault_stats=_fault_stats(network),
     )
+
+
+def simulate_single_switch(experiment) -> ExperimentResult:
+    """Run one single-switch configuration (sections 5.1-5.6)."""
+    return _simulate_wormhole(experiment, single_switch(experiment.num_ports))
 
 
 def simulate_fat_mesh(experiment) -> ExperimentResult:
@@ -90,24 +135,7 @@ def simulate_fat_mesh(experiment) -> ExperimentResult:
         hosts_per_router=experiment.hosts_per_router,
         fat_width=experiment.fat_width,
     )
-    collector = MetricsCollector(
-        experiment.timebase, warmup=experiment.warmup_cycles
-    )
-    config = experiment.router_config(topology.ports_per_router)
-    network = Network(topology, config, on_message=collector.on_message)
-    workload = build_workload(
-        network, experiment.workload_config(), RngStreams(experiment.seed)
-    )
-    wall = _run_network(experiment, network, collector)
-    return ExperimentResult(
-        experiment=experiment,
-        metrics=collector.snapshot(),
-        workload=workload,
-        cycles_run=network.clock,
-        flits_injected=network.flits_injected,
-        flits_ejected=network.flits_ejected,
-        wall_seconds=wall,
-    )
+    return _simulate_wormhole(experiment, topology)
 
 
 def simulate_fat_tree(experiment) -> ExperimentResult:
@@ -118,24 +146,7 @@ def simulate_fat_tree(experiment) -> ExperimentResult:
         hosts_per_leaf=experiment.hosts_per_leaf,
         fat_width=experiment.fat_width,
     )
-    collector = MetricsCollector(
-        experiment.timebase, warmup=experiment.warmup_cycles
-    )
-    config = experiment.router_config(topology.ports_per_router)
-    network = Network(topology, config, on_message=collector.on_message)
-    workload = build_workload(
-        network, experiment.workload_config(), RngStreams(experiment.seed)
-    )
-    wall = _run_network(experiment, network, collector)
-    return ExperimentResult(
-        experiment=experiment,
-        metrics=collector.snapshot(),
-        workload=workload,
-        cycles_run=network.clock,
-        flits_injected=network.flits_injected,
-        flits_ejected=network.flits_ejected,
-        wall_seconds=wall,
-    )
+    return _simulate_wormhole(experiment, topology)
 
 
 def simulate_pcs(experiment) -> PCSResult:

@@ -1,0 +1,524 @@
+"""Deterministic fault injection and end-to-end recovery.
+
+The paper evaluates MediaWorm on a fault-free fabric; this subsystem
+adds the scenario axis the evaluation lacks: what happens to the QoS
+guarantees when links drop or corrupt flits, when a wire is severed for
+a window of time, or when a whole router port dies.
+
+Three cooperating pieces:
+
+* :class:`FaultPlan` — a declarative, validated description of the
+  faults to inject.  All randomness comes from a dedicated
+  :class:`~repro.sim.rng.RngStreams` substream per link
+  (``faults/<link label>``), so a zero-fault plan leaves every other
+  substream — and therefore the whole simulation — bit-identical to a
+  run with no plan at all.
+* :func:`install_faults` — threads the plan through an assembled
+  :class:`~repro.network.network.Network`: every affected
+  :class:`~repro.network.link.Link` gets a :class:`LinkFaultState`
+  consulted by its delivery loop, and routers learn which output ports
+  are dead so the load-based fat-link selector avoids them.
+* :func:`install_recovery` / :class:`EndToEndTransport` — an optional
+  end-to-end checksum + timeout/retransmission protocol at the host
+  interfaces.  Wormhole flow control has no per-hop recovery: a lost
+  flit wedges the rest of its worm, so the transport detects the loss
+  by timeout, purges the remains (the preemption kill machinery), and
+  retransmits a clone after a capped exponential backoff.
+
+Fault semantics (documented invariants):
+
+* A flit lost on a router-bound wire hands its credit straight back to
+  the sender, as :meth:`Network.kill_message` does for purged flits —
+  link faults lose *data*, never flow-control capacity.
+* Once a message loses one flit on a link, the rest of its flits on
+  that link are dropped too ("broken worm"): the downstream input VC
+  counts flits positionally, so delivering post-gap flits would either
+  mis-frame the message or attribute them to a neighbour.
+* During a down window every due flit is dropped (a severed wire), and
+  :meth:`Link.is_available` reports the link unusable so fat-link
+  groups route around it.
+* Corrupted flits are delivered but taint their message; a sink with
+  the end-to-end checksum enabled rejects the tainted message at its
+  tail flit instead of delivering it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FaultConfigError
+from repro.sim.rng import RngStreams
+
+#: flit fates returned by :meth:`LinkFaultState.fate`
+FATE_OK = 0
+FATE_LOST = 1
+FATE_CORRUPT = 2
+
+
+@dataclass(frozen=True)
+class LinkDownWindow:
+    """A ``[start, end)`` cycle window during which matching links are dead.
+
+    ``link`` is an ``fnmatch``-style pattern over link labels (see
+    :attr:`repro.network.link.Link.label`): host links are labelled
+    ``host<node>:inject`` / ``host<node>:eject`` and inter-router
+    channels ``ch:<src_router>.<src_port>-><dst_router>.<dst_port>``,
+    so ``"ch:0.*"`` severs every channel out of router 0.  ``end=None``
+    means the link never comes back (a permanent failure).
+    """
+
+    link: str
+    start: int = 0
+    end: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.link:
+            raise FaultConfigError("a down window needs a link pattern")
+        if self.start < 0:
+            raise FaultConfigError(
+                f"down window start must be >= 0, got {self.start}"
+            )
+        if self.end is not None and self.end <= self.start:
+            raise FaultConfigError(
+                f"down window end must be > start, got "
+                f"[{self.start}, {self.end})"
+            )
+
+    def active(self, clock: int) -> bool:
+        """True while the window covers ``clock``."""
+        return clock >= self.start and (self.end is None or clock < self.end)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of the faults to inject into a network.
+
+    * ``flit_loss_prob`` / ``flit_corrupt_prob`` — per-flit probabilities
+      applied at delivery time on every link matching ``links``.
+    * ``down_windows`` — scheduled link outages (severed wires).
+    * ``port_failures`` — ``(router_id, output_port)`` pairs whose
+      outgoing link is dead for the whole run; the router's fat-link
+      selector skips them.
+
+    A default-constructed plan injects nothing and is guaranteed to
+    leave the simulation bit-identical to a run with no plan at all
+    (the determinism regression in ``tests/test_faults.py`` guards
+    this).
+    """
+
+    flit_loss_prob: float = 0.0
+    flit_corrupt_prob: float = 0.0
+    links: str = "*"
+    down_windows: Tuple[LinkDownWindow, ...] = ()
+    port_failures: Tuple[Tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("flit_loss_prob", "flit_corrupt_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise FaultConfigError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+        if not self.links:
+            raise FaultConfigError("links pattern must be non-empty")
+        for failure in self.port_failures:
+            if len(failure) != 2:
+                raise FaultConfigError(
+                    f"port failure must be (router_id, port), got {failure!r}"
+                )
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            self.flit_loss_prob == 0.0
+            and self.flit_corrupt_prob == 0.0
+            and not self.down_windows
+            and not self.port_failures
+        )
+
+
+class LinkFaultState:
+    """Per-link fault machinery consulted by ``Link.deliver_due``.
+
+    Holds the link's effective probabilities, its down windows, its own
+    RNG substream, and the "broken worm" set of messages that already
+    lost a flit here (their remaining flits must be dropped too).
+    Accounting is delegated to the owning network so the global
+    ``flits_lost`` / ``flits_corrupted`` counters and flit conservation
+    stay consistent.
+    """
+
+    __slots__ = (
+        "label",
+        "loss_prob",
+        "corrupt_prob",
+        "windows",
+        "rng",
+        "network",
+        "broken",
+    )
+
+    def __init__(
+        self,
+        label: str,
+        loss_prob: float,
+        corrupt_prob: float,
+        windows: Tuple[LinkDownWindow, ...],
+        rng,
+        network,
+    ) -> None:
+        self.label = label
+        self.loss_prob = loss_prob
+        self.corrupt_prob = corrupt_prob
+        self.windows = windows
+        self.rng = rng
+        self.network = network
+        #: msg ids that lost a flit on this link (rest of worm drops)
+        self.broken: set = set()
+
+    def down(self, clock: int) -> bool:
+        """True while any down window covers ``clock``."""
+        for window in self.windows:
+            if window.active(clock):
+                return True
+        return False
+
+    def fate(self, msg, flit_index: int, down: bool) -> int:
+        """Decide what happens to one due flit (OK / LOST / CORRUPT)."""
+        broken = self.broken
+        msg_id = msg.msg_id
+        if msg_id in broken:
+            if flit_index == msg.size - 1:
+                broken.discard(msg_id)
+            return FATE_LOST
+        if down or (
+            self.loss_prob > 0.0 and self.rng.random() < self.loss_prob
+        ):
+            if flit_index != msg.size - 1:
+                broken.add(msg_id)
+            return FATE_LOST
+        if self.corrupt_prob > 0.0 and self.rng.random() < self.corrupt_prob:
+            return FATE_CORRUPT
+        return FATE_OK
+
+    def forget(self, msg) -> None:
+        """Drop broken-worm state for a killed message (purge hook)."""
+        self.broken.discard(msg.msg_id)
+
+    def account_lost(self) -> None:
+        """One flit vanished on this link."""
+        self.network._flit_lost(1)
+
+    def report_loss(self, msg) -> None:
+        """Link-level loss detection: hand the broken worm to recovery.
+
+        With a transport installed the message is torn down *now* (the
+        downstream router spots the gap and triggers the purge) instead
+        of wedging its VC until the delivery timeout fires — without
+        this, wedges accumulate faster than timeouts clear them and
+        throughput collapses under loss.
+        """
+        transport = self.network.transport
+        if transport is not None:
+            transport.on_loss(msg)
+
+    def account_corrupted(self) -> None:
+        """One flit was delivered corrupted on this link."""
+        self.network._flit_corrupted(1)
+
+
+class FaultInjector:
+    """The installed fault plan: per-link states plus failed ports.
+
+    Built by :func:`install_faults`; kept on ``network.fault_injector``
+    for introspection (``faults_active``, per-link labels).
+    """
+
+    def __init__(self, network, plan: FaultPlan) -> None:
+        self.network = network
+        self.plan = plan
+        #: label -> LinkFaultState for every link with attached faults
+        self.states: Dict[str, LinkFaultState] = {}
+        #: (router_id, port) pairs marked permanently dead
+        self.failed_ports: Tuple[Tuple[int, int], ...] = ()
+
+    def links_down(self, clock: int) -> List[str]:
+        """Labels of links inside an active down window at ``clock``."""
+        return [
+            label
+            for label, state in self.states.items()
+            if state.down(clock)
+        ]
+
+    @property
+    def faulted_links(self) -> List[str]:
+        """Labels of every link carrying fault state."""
+        return sorted(self.states)
+
+
+def install_faults(
+    network, plan: FaultPlan, rngs: RngStreams
+) -> FaultInjector:
+    """Thread ``plan`` through an assembled network.
+
+    Every link whose label matches the plan's probabilistic pattern or
+    a down window gets a :class:`LinkFaultState` (with its own
+    ``faults/<label>`` RNG substream); routers with failed output ports
+    learn to route around them.  Raises :class:`FaultConfigError` for
+    windows that match no link or port failures that name unknown
+    hardware.  Returns the installed :class:`FaultInjector`.
+    """
+    injector = FaultInjector(network, plan)
+
+    permanent: Dict[str, List[LinkDownWindow]] = {}
+    failed: List[Tuple[int, int]] = []
+    for router_id, port in plan.port_failures:
+        if not 0 <= router_id < len(network.routers):
+            raise FaultConfigError(
+                f"port failure names unknown router {router_id}"
+            )
+        router = network.routers[router_id]
+        if not 0 <= port < router.config.num_ports:
+            raise FaultConfigError(
+                f"port failure names unknown port {port} on router "
+                f"{router_id}"
+            )
+        link = router.out_links[port]
+        if link is None:
+            raise FaultConfigError(
+                f"router {router_id} port {port} is unwired; cannot fail it"
+            )
+        router.faulted_ports.add(port)
+        permanent.setdefault(link.label, []).append(
+            LinkDownWindow(link=link.label, start=0, end=None)
+        )
+        failed.append((router_id, port))
+    injector.failed_ports = tuple(failed)
+
+    labels = {link.label: link for link in network.links}
+    for window in plan.down_windows:
+        if not any(fnmatchcase(label, window.link) for label in labels):
+            raise FaultConfigError(
+                f"down window pattern {window.link!r} matches no link "
+                f"(labels look like 'host0:inject' or 'ch:0.4->1.5')"
+            )
+
+    probabilistic = plan.flit_loss_prob > 0.0 or plan.flit_corrupt_prob > 0.0
+    for label, link in labels.items():
+        windows = [
+            w for w in plan.down_windows if fnmatchcase(label, w.link)
+        ]
+        windows.extend(permanent.get(label, ()))
+        hit = probabilistic and fnmatchcase(label, plan.links)
+        if not windows and not hit:
+            continue
+        state = LinkFaultState(
+            label=label,
+            loss_prob=plan.flit_loss_prob if hit else 0.0,
+            corrupt_prob=plan.flit_corrupt_prob if hit else 0.0,
+            windows=tuple(windows),
+            rng=rngs.stream(f"faults/{label}"),
+            network=network,
+        )
+        link.faults = state
+        injector.states[label] = state
+
+    network.fault_injector = injector
+    return injector
+
+
+# ----------------------------------------------------------------------
+# end-to-end recovery (checksum + timeout/retransmission)
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """End-to-end transport knobs for :func:`install_recovery`.
+
+    ``timeout`` is the cycles a message may remain undelivered before
+    its remains are purged and it is retransmitted; retransmission
+    ``k`` (1-based) is delayed by ``min(backoff_base * 2**(k-1),
+    backoff_cap)`` cycles.  With ``checksum`` enabled, sinks reject
+    messages whose flits were corrupted in transit, triggering the same
+    retransmission path.
+
+    The timeout clock starts when the message's *header flit leaves the
+    NI*, not at injection, so legitimate NI queueing (frame bursts
+    paced at the stream's reserved rate) never counts against it.  The
+    timeout still has to cover the message's own pacing tail — roughly
+    ``message_size * vtick`` cycles under Virtual Clock — plus network
+    transit and contention; shorter settings kill healthy messages and
+    retransmit them in a storm.
+    """
+
+    timeout: int = 2000
+    max_retries: int = 6
+    backoff_base: int = 64
+    backoff_cap: int = 2048
+    checksum: bool = True
+
+    def __post_init__(self) -> None:
+        if self.timeout < 1:
+            raise FaultConfigError(
+                f"timeout must be >= 1 cycle, got {self.timeout}"
+            )
+        if self.max_retries < 0:
+            raise FaultConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base < 1 or self.backoff_cap < self.backoff_base:
+            raise FaultConfigError(
+                f"need 1 <= backoff_base <= backoff_cap, got "
+                f"{self.backoff_base}/{self.backoff_cap}"
+            )
+
+
+@dataclass
+class TransportStats:
+    """End-to-end delivery accounting for one run."""
+
+    originals: int = 0
+    delivered: int = 0
+    corrupt_detected: int = 0
+    timeouts: int = 0
+    #: messages torn down by link-level loss detection (no timeout wait)
+    loss_kills: int = 0
+    retransmissions: int = 0
+    abandoned: int = 0
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Cleanly delivered fraction of the *resolved* messages.
+
+        A message is resolved once it either delivered or exhausted its
+        retries; messages still queued or awaiting a retransmission when
+        the run ends are excluded rather than counted as failures.
+        """
+        resolved = self.delivered + self.abandoned
+        if resolved == 0:
+            return 1.0
+        return self.delivered / resolved
+
+
+class EndToEndTransport:
+    """Timeout/retransmission protocol over the message service.
+
+    Tracks every message injected while installed.  A message that
+    neither delivers cleanly nor is killed by another mechanism within
+    ``timeout`` cycles is presumed lost: its wedged remains are purged
+    network-wide (the preemption kill machinery) and a clone is
+    re-injected after a capped exponential backoff, up to
+    ``max_retries`` times.  A message delivered with a failed checksum
+    (corrupted flits) takes the same retransmission path without a
+    purge — its flits already ejected.
+
+    Messages killed by someone else (e.g. VC preemption, which schedules
+    its own retransmission) are left to that mechanism; their clone is
+    then tracked as a fresh original.
+    """
+
+    def __init__(self, network, config: RecoveryConfig) -> None:
+        self.network = network
+        self.config = config
+        self.stats = TransportStats()
+        #: msg_id -> completed retransmission count for live attempts
+        self._attempt: Dict[int, int] = {}
+
+    # -- network hooks --------------------------------------------------
+
+    def on_inject(self, msg) -> None:
+        """Track one injected message (clones are already tracked)."""
+        if msg.msg_id not in self._attempt:
+            self._attempt[msg.msg_id] = 0
+            self.stats.originals += 1
+
+    def on_start(self, msg, clock: int) -> None:
+        """Header flit left the NI: arm the delivery timeout.
+
+        Arming here rather than at injection keeps legitimate NI
+        queueing (a frame burst paced at the stream's reserved rate can
+        hold a message for most of a frame interval) off the timeout
+        clock, so only in-network time counts.
+        """
+        if msg.msg_id not in self._attempt:
+            return
+        network = self.network
+        network.schedule_call(
+            clock + self.config.timeout, lambda m=msg: self._check(m)
+        )
+
+    def on_delivered(self, msg) -> None:
+        """A tracked message delivered cleanly."""
+        if self._attempt.pop(msg.msg_id, None) is not None:
+            self.stats.delivered += 1
+
+    def on_corrupt(self, msg, clock: int) -> None:
+        """Sink checksum failure: retransmit without a purge."""
+        self.stats.corrupt_detected += 1
+        # Neutralise the pending timeout; nothing remains to purge.
+        msg.killed = True
+        self._retry(msg)
+
+    def on_loss(self, msg) -> None:
+        """A link lost one of the message's flits: tear down and retry.
+
+        Immediate teardown keeps the broken worm from wedging its VCs
+        until the timeout; the timeout stays armed as a backstop and
+        sees the kill as already handled.
+        """
+        if msg.killed or msg.deliver_time >= 0:
+            return
+        self.stats.loss_kills += 1
+        self.network.kill_message(msg)
+        self._retry(msg)
+
+    # -- internals ------------------------------------------------------
+
+    def _check(self, msg) -> None:
+        """Timeout fired: decide whether the message needs recovery."""
+        if msg.deliver_time >= 0:
+            return
+        if msg.killed:
+            # killed by preemption (which retransmits on its own) or by
+            # an earlier recovery of this very message
+            self._attempt.pop(msg.msg_id, None)
+            return
+        self.stats.timeouts += 1
+        self.network.kill_message(msg)
+        self._retry(msg)
+
+    def _retry(self, msg) -> None:
+        retries = self._attempt.pop(msg.msg_id, 0)
+        if retries >= self.config.max_retries:
+            self.stats.abandoned += 1
+            return
+        clone = msg.clone()
+        self._attempt[clone.msg_id] = retries + 1
+        self.stats.retransmissions += 1
+        delay = min(
+            self.config.backoff_base << retries, self.config.backoff_cap
+        )
+        network = self.network
+        network.schedule_call(
+            network.clock + delay, lambda m=clone: network.inject_now(m)
+        )
+
+
+def install_recovery(network, config: RecoveryConfig) -> EndToEndTransport:
+    """Attach the end-to-end transport to an assembled network.
+
+    Wires the injection hook (timeout arming) and, when ``checksum`` is
+    enabled, the per-sink corrupt-delivery callback.  Returns the
+    installed :class:`EndToEndTransport`.
+    """
+    transport = EndToEndTransport(network, config)
+    network.transport = transport
+    for ni in network.interfaces.values():
+        ni.on_start = transport.on_start
+    if config.checksum:
+        for sink in network.sinks.values():
+            sink.on_corrupt = transport.on_corrupt
+    return transport

@@ -66,6 +66,11 @@ class HostInterface:
         #: total flits accepted for injection (metrics/audit)
         self.flits_injected = 0
         self.messages_injected = 0
+        #: fired when a message's header flit leaves for the wire; the
+        #: recovery transport arms its delivery timeout here so NI
+        #: queueing (frame bursts paced at stream rate) doesn't count
+        #: against the timeout
+        self.on_start: Optional[Callable[[Message, int], None]] = None
 
     def inject(self, clock: int, msg: Message) -> None:
         """Queue a message for transmission on its source VC.
@@ -122,6 +127,8 @@ class HostInterface:
         vc.sent += 1
         vc.head_stamp = None
         self.link.send(clock, msg, flit_index, chosen)
+        if flit_index == 0 and self.on_start is not None:
+            self.on_start(msg, clock)
         if flit_index == msg.size - 1:
             vc.queue.popleft()
             vc.vstate.close()
@@ -184,8 +191,13 @@ class HostSink:
         self.node_id = node_id
         self.on_message = on_message
         self.on_flit = on_flit
+        #: end-to-end checksum handler: when set, a message whose flits
+        #: were corrupted in transit is rejected at its tail instead of
+        #: being reported delivered (repro.faults.install_recovery)
+        self.on_corrupt: Optional[Callable[[Message, int], None]] = None
         self.flits_ejected = 0
         self.messages_ejected = 0
+        self.messages_corrupt = 0
 
     def eject(self, clock: int, msg: Message, flit_index: int) -> None:
         """Consume one flit; fire callbacks on tails."""
@@ -198,6 +210,13 @@ class HostSink:
                     f"message {msg.msg_id} for node {msg.dst_node} ejected "
                     f"at node {self.node_id}"
                 )
+            if msg.corrupted and self.on_corrupt is not None:
+                # checksum failure: the payload arrived but is garbage;
+                # don't report delivery — the transport decides whether
+                # to retransmit
+                self.messages_corrupt += 1
+                self.on_corrupt(msg, clock)
+                return
             msg.deliver_time = clock
             self.messages_ejected += 1
             if self.on_message is not None:

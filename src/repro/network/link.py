@@ -29,7 +29,15 @@ class Link:
     sent at cycle ``t`` becomes visible downstream at ``t + latency``.
     """
 
-    __slots__ = ("latency", "dest_router", "dest_port", "sink", "pending")
+    __slots__ = (
+        "latency",
+        "dest_router",
+        "dest_port",
+        "sink",
+        "pending",
+        "label",
+        "faults",
+    )
 
     def __init__(
         self,
@@ -37,6 +45,7 @@ class Link:
         dest_port: int = -1,
         sink=None,
         latency: int = DEFAULT_LINK_LATENCY,
+        label: str = "",
     ) -> None:
         if (dest_router is None) == (sink is None):
             raise FlowControlError(
@@ -48,6 +57,10 @@ class Link:
         self.dest_router = dest_router
         self.dest_port = dest_port
         self.sink = sink
+        #: stable name used by fault plans to address this link
+        self.label = label
+        #: optional LinkFaultState installed by repro.faults
+        self.faults = None
         #: in-flight flits: (arrival_cycle, msg, flit_index, vc_index)
         self.pending: Deque[Tuple[int, Message, int, int]] = deque()
 
@@ -60,6 +73,8 @@ class Link:
 
         Returns the number of flits delivered.
         """
+        if self.faults is not None:
+            return self._deliver_due_faulty(clock)
         delivered = 0
         pending = self.pending
         router = self.dest_router
@@ -77,6 +92,54 @@ class Link:
                 delivered += 1
         return delivered
 
+    def _deliver_due_faulty(self, clock: int) -> int:
+        """Delivery loop with the installed fault state applied.
+
+        A lost flit on a router-bound wire returns its credit to the
+        sender immediately (faults lose data, not flow-control
+        capacity); a corrupted flit is delivered but taints its
+        message.  See :mod:`repro.faults` for the full semantics.
+        """
+        from repro.faults import FATE_CORRUPT, FATE_LOST
+
+        faults = self.faults
+        delivered = 0
+        pending = self.pending
+        router = self.dest_router
+        down = faults.down(clock)
+        while pending and pending[0][0] <= clock:
+            _, msg, flit_index, vc_index = pending.popleft()
+            fate = faults.fate(msg, flit_index, down)
+            if fate == FATE_LOST:
+                if router is not None:
+                    sender = router.inputs[self.dest_port][
+                        vc_index
+                    ].credit_sink
+                    if sender is not None:
+                        sender.credits += 1
+                faults.account_lost()
+                # The teardown below may purge this link and rebuild
+                # self.pending; re-fetch so we keep draining the live
+                # deque, not the pre-purge snapshot.
+                faults.report_loss(msg)
+                pending = self.pending
+                continue
+            if fate == FATE_CORRUPT:
+                msg.corrupted = True
+                faults.account_corrupted()
+            if router is not None:
+                router.accept_flit(
+                    clock, self.dest_port, vc_index, msg, flit_index
+                )
+            else:
+                self.sink.eject(clock, msg, flit_index)
+            delivered += 1
+        return delivered
+
+    def is_available(self, clock: int) -> bool:
+        """False while the link sits inside a fault down window."""
+        return self.faults is None or not self.faults.down(clock)
+
     @property
     def in_flight(self) -> int:
         """Flits currently on the wire."""
@@ -88,6 +151,8 @@ class Link:
         Returns the VC index of every dropped flit, so the caller can
         hand the credits they consumed back to the sender.
         """
+        if self.faults is not None:
+            self.faults.forget(msg)
         if not self.pending:
             return []
         kept = deque()

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, Dict, List, Optional
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError, DeadlockError, SimulationError
 from repro.network.interface import HostInterface, HostSink
 from repro.network.link import DEFAULT_LINK_LATENCY, Link
 from repro.network.topology import Topology
@@ -31,6 +31,7 @@ class Network:
         config: RouterConfig,
         link_latency: int = DEFAULT_LINK_LATENCY,
         on_message: Optional[Callable[[Message, int], None]] = None,
+        watchdog_window: Optional[int] = None,
     ) -> None:
         self.topology = topology
         if config.num_ports != topology.ports_per_router:
@@ -42,10 +43,27 @@ class Network:
         self.flits_injected = 0
         self.flits_ejected = 0
         self.flits_dropped = 0
+        #: flits lost to injected link faults (subset of flits_dropped)
+        self.flits_lost = 0
+        #: flits delivered with fault-injected corruption
+        self.flits_corrupted = 0
         self.messages_delivered = 0
         self.preemptions = 0
         #: cycles a preempted message waits before retransmission
-        self.preemption_backoff = 64
+        self.preemption_backoff = config.preemption_backoff
+        #: progress watchdog: raise DeadlockError when no flit is
+        #: delivered for this many cycles while flits are in flight
+        #: (None disables the check)
+        if watchdog_window is not None and watchdog_window < 1:
+            raise ConfigurationError(
+                f"watchdog_window must be >= 1 cycle, got {watchdog_window}"
+            )
+        self.watchdog_window = watchdog_window
+        self._stall_clock = 0
+        #: FaultInjector installed by repro.faults.install_faults
+        self.fault_injector = None
+        #: EndToEndTransport installed by repro.faults.install_recovery
+        self.transport = None
         self._on_message = on_message
 
         self.routers: List[WormholeRouter] = [
@@ -71,7 +89,12 @@ class Network:
         for node, rid, port in self.topology.hosts:
             router = self.routers[rid]
             # Injection: NI -> router input port.
-            in_link = Link(dest_router=router, dest_port=port, latency=latency)
+            in_link = Link(
+                dest_router=router,
+                dest_port=port,
+                latency=latency,
+                label=f"host{node}:inject",
+            )
             ni = HostInterface(
                 node_id=node,
                 vcs_per_pc=self.config.vcs_per_pc,
@@ -87,7 +110,7 @@ class Network:
                 on_message=self._message_delivered,
                 on_flit=self._flit_ejected,
             )
-            out_link = Link(sink=sink, latency=latency)
+            out_link = Link(sink=sink, latency=latency, label=f"host{node}:eject")
             router.wire_output(port, out_link, host=True)
             # Host ports have no downstream router buffer; the sink
             # consumes at link rate, so output VCs are never credit
@@ -101,7 +124,12 @@ class Network:
         for src_r, src_p, dst_r, dst_p in self.topology.channels:
             src = self.routers[src_r]
             dst = self.routers[dst_r]
-            link = Link(dest_router=dst, dest_port=dst_p, latency=latency)
+            link = Link(
+                dest_router=dst,
+                dest_port=dst_p,
+                latency=latency,
+                label=f"ch:{src_r}.{src_p}->{dst_r}.{dst_p}",
+            )
             src.wire_output(src_p, link, host=False)
             for vc_index in range(self.config.vcs_per_pc):
                 ovc = src.outputs[src_p][vc_index]
@@ -138,6 +166,8 @@ class Network:
         ni.inject(self.clock, msg)
         self._flits_in_flight += msg.size
         self.flits_injected += msg.size
+        if self.transport is not None:
+            self.transport.on_inject(msg)
 
     def schedule_message(self, time: int, msg: Message) -> None:
         """Schedule a message injection at an absolute cycle."""
@@ -200,18 +230,7 @@ class Network:
         """Router hook: kill ``victim`` and schedule its retransmission."""
         self.kill_message(victim)
         self.preemptions += 1
-        clone = Message(
-            src_node=victim.src_node,
-            dst_node=victim.dst_node,
-            size=victim.size,
-            vtick=victim.vtick,
-            traffic_class=victim.traffic_class,
-            stream_id=victim.stream_id,
-            frame_id=victim.frame_id,
-            frame_messages=victim.frame_messages,
-            src_vc=victim.src_vc,
-            dst_vc=victim.dst_vc,
-        )
+        clone = victim.clone()
         self.events.schedule(
             self.clock + self.preemption_backoff,
             lambda m=clone: self.inject_now(m),
@@ -224,8 +243,20 @@ class Network:
         self._flits_in_flight -= count
         self.flits_ejected += count
 
+    def _flit_lost(self, count: int) -> None:
+        """A link fault destroyed ``count`` in-flight flits."""
+        self._flits_in_flight -= count
+        self.flits_dropped += count
+        self.flits_lost += count
+
+    def _flit_corrupted(self, count: int) -> None:
+        """A link fault corrupted ``count`` delivered flits."""
+        self.flits_corrupted += count
+
     def _message_delivered(self, msg: Message, clock: int) -> None:
         self.messages_delivered += 1
+        if self.transport is not None:
+            self.transport.on_delivered(msg)
         if self._on_message is not None:
             self._on_message(msg, clock)
 
@@ -233,12 +264,23 @@ class Network:
     # the cycle loop
 
     def run(self, until: int) -> None:
-        """Advance the simulation to cycle ``until``."""
+        """Advance the simulation to cycle ``until``.
+
+        With :attr:`watchdog_window` set, the loop tracks delivery
+        progress (flits handed over by links) and raises
+        :class:`DeadlockError` when flits are in flight but nothing has
+        been delivered for a full window — a wedged network (credit
+        starvation, a worm broken by a link fault, a routing cycle)
+        fails fast with a diagnostic dump instead of spinning to the
+        horizon.
+        """
         clock = self.clock
         events = self.events
         links = self.links
         interfaces = list(self.interfaces.values())
         routers = self.routers
+        watchdog = self.watchdog_window
+        stall_clock = max(self._stall_clock, clock - 1)
         while clock < until:
             if self._flits_in_flight == 0:
                 nxt = events.next_time()
@@ -247,18 +289,33 @@ class Network:
                     break
                 if nxt > clock:
                     clock = min(nxt, until)
+                    stall_clock = clock
                     if clock >= until:
                         break
             self.clock = clock
             events.fire_due(clock)
+            progress = 0
             for link in links:
                 if link.pending:
-                    link.deliver_due(clock)
+                    progress += link.deliver_due(clock)
             for ni in interfaces:
                 ni.step(clock)
             for router in routers:
                 router.step(clock)
+            if watchdog is not None:
+                if progress or not self._flits_in_flight:
+                    stall_clock = clock
+                elif clock - stall_clock >= watchdog:
+                    self._stall_clock = stall_clock
+                    self.clock = clock
+                    raise DeadlockError(
+                        f"no flit delivered for {clock - stall_clock} cycles "
+                        f"(watchdog window {watchdog}) at cycle {clock} with "
+                        f"{self._flits_in_flight} flits in flight\n"
+                        + self.stall_report()
+                    )
             clock += 1
+        self._stall_clock = stall_clock
         self.clock = clock
 
     def run_until_drained(
@@ -289,6 +346,61 @@ class Network:
 
     # ------------------------------------------------------------------
     # audit helpers
+
+    @property
+    def faults_active(self) -> "list[str]":
+        """Labels of links currently inside a fault down window."""
+        if self.fault_injector is None:
+            return []
+        return self.fault_injector.links_down(self.clock)
+
+    def stall_report(self, max_lines: int = 40) -> str:
+        """Per-router dump of every occupied VC (watchdog diagnostics).
+
+        One line per occupied input VC (front message, routed port,
+        grant state) and per busy output VC (owner, staged flits,
+        credits), so a :class:`DeadlockError` names the wedged
+        routers/VCs without a debugger attached.
+        """
+        lines: "list[str]" = []
+        for router in self.routers:
+            for port, vcs in enumerate(router.inputs):
+                for vc in vcs:
+                    if vc.is_free and not vc.buffered:
+                        continue
+                    msg = vc.msg
+                    grant = (
+                        f"granted ovc {vc.route_vc.index}"
+                        if vc.route_vc is not None
+                        else "no grant"
+                    )
+                    lines.append(
+                        f"router {router.router_id} in ({port},{vc.index}): "
+                        f"{vc.buffered} flits, msg "
+                        f"{msg.msg_id if msg else '?'} "
+                        f"-> port {vc.route_port}, {grant}"
+                    )
+            for port, vcs in enumerate(router.outputs):
+                for ovc in vcs:
+                    if ovc.owner is None and not ovc.queue:
+                        continue
+                    owner = ovc.owner.msg_id if ovc.owner else "?"
+                    lines.append(
+                        f"router {router.router_id} out ({port},{ovc.index}): "
+                        f"owner {owner}, {len(ovc.queue)} staged, "
+                        f"{ovc.credits} credits"
+                    )
+        for node, ni in self.interfaces.items():
+            backlog = ni.backlog_flits
+            if backlog:
+                lines.append(f"host {node} NI: {backlog} flits queued")
+        down = self.faults_active
+        if down:
+            lines.append(f"links down: {', '.join(sorted(down))}")
+        if len(lines) > max_lines:
+            extra = len(lines) - max_lines
+            lines = lines[:max_lines] + [f"... {extra} more lines elided"]
+        return "\n".join(lines) if lines else "(no occupied buffers)"
 
     @property
     def flits_in_flight(self) -> int:

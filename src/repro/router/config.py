@@ -89,6 +89,9 @@ class RouterConfig:
     #: retransmit) — the paper's future-work item for dynamic mixes;
     #: meaningful together with ``dynamic_partitioning``
     preemption: bool = False
+    #: cycles a preempted message waits before its retransmission is
+    #: injected again (kill-and-retransmit backoff)
+    preemption_backoff: int = 64
 
     def __post_init__(self) -> None:
         if self.num_ports < 1:
@@ -128,6 +131,11 @@ class RouterConfig:
             )
         if self.routing_delay < 0 or self.arbitration_delay < 0:
             raise ConfigurationError("pipeline delays must be non-negative")
+        if not 1 <= self.preemption_backoff <= 1_000_000:
+            raise ConfigurationError(
+                f"preemption_backoff must be in [1, 1_000_000] cycles, "
+                f"got {self.preemption_backoff}"
+            )
 
     def vc_range_for_class(self, is_real_time: bool) -> range:
         """VC indices a message of the given class may be assigned to."""

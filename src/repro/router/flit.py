@@ -65,6 +65,7 @@ class Message:
         "inject_time",
         "deliver_time",
         "killed",
+        "corrupted",
     )
 
     def __init__(
@@ -102,11 +103,35 @@ class Message:
         #: set by preemption: the message's remaining flits are being
         #: purged and it will be retransmitted as a fresh message
         self.killed = False
+        #: set by fault injection when a flit was corrupted in transit;
+        #: a sink with the end-to-end checksum enabled rejects the
+        #: message at its tail flit
+        self.corrupted = False
 
     @property
     def is_real_time(self) -> bool:
         """True for VBR/CBR messages."""
         return self.traffic_class in TrafficClass.REAL_TIME
+
+    def clone(self) -> "Message":
+        """A fresh copy for retransmission (preemption or recovery).
+
+        The clone keeps the routing and stream/frame identity so the
+        metrics layer attributes its delivery to the same frame, but
+        gets a new message id and clean injection/delivery state.
+        """
+        return Message(
+            src_node=self.src_node,
+            dst_node=self.dst_node,
+            size=self.size,
+            vtick=self.vtick,
+            traffic_class=self.traffic_class,
+            stream_id=self.stream_id,
+            frame_id=self.frame_id,
+            frame_messages=self.frame_messages,
+            src_vc=self.src_vc,
+            dst_vc=self.dst_vc,
+        )
 
     def is_tail(self, flit_index: int) -> bool:
         """True if ``flit_index`` names this message's tail flit."""

@@ -66,6 +66,9 @@ class WormholeRouter:
         self.out_links: List[Optional[object]] = [None] * n
         #: True for ports whose link ejects to a host (set when wired)
         self.is_host_port: List[bool] = [False] * n
+        #: output ports declared dead by a fault plan (repro.faults);
+        #: the load-based fat-link selector routes around them
+        self.faulted_ports: Set[int] = set()
 
         multiplexed = config.crossbar == CrossbarKind.MULTIPLEXED
         # Scheduler placement per section 3.3 (point A for a multiplexed
@@ -279,7 +282,7 @@ class WormholeRouter:
             return False
         if vc.route_port < 0:
             ports = self.routing.candidates(self.router_id, msg.dst_node)
-            vc.route_port = self._select_output_port(ports)
+            vc.route_port = self._select_output_port(clock, ports)
         ovc = self._arbitrate_output_vc(clock, vc.route_port, msg)
         if ovc is None:
             return False
@@ -293,10 +296,20 @@ class WormholeRouter:
         self._work -= 1  # leaves pending_arb
         return True
 
-    def _select_output_port(self, ports) -> int:
-        """Pick among fat-link candidates by current load (section 3.4)."""
+    def _select_output_port(self, clock: int, ports) -> int:
+        """Pick among fat-link candidates by current load (section 3.4).
+
+        Candidates whose output port failed or whose link sits in a
+        fault down window are skipped — the surviving sibling of a fat
+        group absorbs the traffic.  A message whose *only* candidate is
+        faulted still takes it (and its flits are lost on the dead
+        wire); end-to-end recovery, not routing, owns that case.
+        """
         if len(ports) == 1:
             return ports[0]
+        usable = [p for p in ports if self._port_usable(clock, p)]
+        if usable:
+            ports = usable
         best_port = -1
         best_load = None
         for port in ports:
@@ -308,6 +321,13 @@ class WormholeRouter:
                 best_load = load
                 best_port = port
         return best_port
+
+    def _port_usable(self, clock: int, port: int) -> bool:
+        """False when the port (or its outgoing link) is faulted."""
+        if port in self.faulted_ports:
+            return False
+        link = self.out_links[port]
+        return link is None or link.is_available(clock)
 
     def _arbitrate_output_vc(
         self, clock: int, port: int, msg: Message

@@ -65,6 +65,8 @@ class TestErrorHierarchy:
             errors.RoutingError,
             errors.FlowControlError,
             errors.AdmissionError,
+            errors.DeadlockError,
+            errors.FaultConfigError,
         ],
     )
     def test_all_derive_from_repro_error(self, exc):
@@ -74,6 +76,27 @@ class TestErrorHierarchy:
     def test_routing_and_flow_control_are_simulation_errors(self):
         assert issubclass(errors.RoutingError, errors.SimulationError)
         assert issubclass(errors.FlowControlError, errors.SimulationError)
+
+    def test_fault_errors_slot_into_the_hierarchy(self):
+        # a watchdog trip is a simulation failure; a bad fault plan is
+        # a configuration mistake — both catchable at the usual levels
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+        assert issubclass(errors.FaultConfigError, errors.ConfigurationError)
+
+    def test_fault_api_exported_at_top_level(self):
+        import repro
+
+        for name in (
+            "DeadlockError",
+            "FaultConfigError",
+            "FaultPlan",
+            "LinkDownWindow",
+            "RecoveryConfig",
+            "install_faults",
+            "install_recovery",
+        ):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
 
     def test_catching_base_catches_all(self):
         with pytest.raises(errors.ReproError):

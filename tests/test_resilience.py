@@ -1,0 +1,298 @@
+"""Sweep resilience: checkpointing, retry-with-reseed, CLI resume."""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from conftest import TINY
+
+import repro.experiments.cli as cli
+import repro.experiments.faultsweep as faultsweep
+from repro.errors import DeadlockError, SimulationError
+from repro.experiments.config import SingleSwitchExperiment
+from repro.experiments.figures import PROFILES, RunProfile
+from repro.experiments.resilience import (
+    RESEED_STEP,
+    SweepCheckpoint,
+    run_resilient,
+)
+
+
+@pytest.fixture
+def tiny_profile(monkeypatch):
+    tiny = RunProfile("tiny", scale=80.0, warmup_frames=1, measure_frames=2)
+    monkeypatch.setitem(PROFILES, "tiny", tiny)
+    return tiny
+
+
+class TestSweepCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        cp = SweepCheckpoint(path, meta={"profile": "quick"})
+        assert "fig3" not in cp
+        assert cp.get("fig3") is None
+        cp.put("fig3", "some rendered text")
+        assert "fig3" in cp
+        assert cp.get("fig3") == "some rendered text"
+        assert cp.done_keys == ["fig3"]
+
+    def test_persists_across_instances(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        SweepCheckpoint(path, meta={"profile": "quick"}).put("fig3", "text")
+        reloaded = SweepCheckpoint(path, meta={"profile": "quick"})
+        assert reloaded.get("fig3") == "text"
+
+    def test_put_persists_immediately(self, tmp_path):
+        # the point of the checkpoint: a kill -9 after put() loses nothing
+        path = tmp_path / "sweep.json"
+        SweepCheckpoint(path, meta={}).put("a", 1)
+        on_disk = json.loads(path.read_text())
+        assert on_disk["done"] == {"a": 1}
+        assert not os.path.exists(f"{path}.tmp")
+
+    def test_meta_mismatch_discards_stale_file(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        SweepCheckpoint(path, meta={"profile": "quick"}).put("fig3", "text")
+        other = SweepCheckpoint(path, meta={"profile": "default"})
+        assert "fig3" not in other
+
+    def test_corrupt_file_is_ignored(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text("{ not json")
+        cp = SweepCheckpoint(path, meta={})
+        assert cp.done_keys == []
+
+    def test_wrong_format_is_ignored(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({"format": "other", "done": {"a": 1}}))
+        assert "a" not in SweepCheckpoint(path, meta={})
+
+    def test_clear_removes_the_file(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        cp = SweepCheckpoint(path, meta={})
+        cp.put("a", 1)
+        assert path.exists()
+        cp.clear()
+        assert not path.exists()
+        assert cp.done_keys == []
+        cp.clear()  # idempotent
+
+
+class TestRunResilient:
+    def _experiment(self):
+        return SingleSwitchExperiment(load=0.5, mix=(80, 20), **TINY)
+
+    def test_success_passes_through(self):
+        experiment = self._experiment()
+        seen = []
+        result = run_resilient(lambda e: seen.append(e) or "ok", experiment)
+        assert result == "ok"
+        assert seen == [experiment]
+
+    def test_retries_with_reseeded_experiment(self):
+        experiment = self._experiment()
+        seeds = []
+        retries = []
+
+        def flaky(trial):
+            seeds.append(trial.seed)
+            if len(seeds) < 3:
+                raise DeadlockError("wedged")
+            return "recovered"
+
+        result = run_resilient(
+            flaky,
+            experiment,
+            attempts=3,
+            on_retry=lambda attempt, exc: retries.append(attempt),
+        )
+        assert result == "recovered"
+        assert seeds == [
+            experiment.seed,
+            experiment.seed + RESEED_STEP,
+            experiment.seed + 2 * RESEED_STEP,
+        ]
+        assert retries == [0, 1]
+
+    def test_exhausted_attempts_raise_the_last_error(self):
+        def always_fails(trial):
+            raise DeadlockError(f"seed {trial.seed} wedged")
+
+        with pytest.raises(DeadlockError, match="wedged"):
+            run_resilient(always_fails, self._experiment(), attempts=2)
+
+    def test_non_simulation_errors_propagate_immediately(self):
+        calls = []
+
+        def typo(trial):
+            calls.append(trial)
+            raise ValueError("a bug, not a wedge")
+
+        with pytest.raises(ValueError):
+            run_resilient(typo, self._experiment(), attempts=3)
+        assert len(calls) == 1
+
+    def test_cycle_budget_arms_the_watchdog(self):
+        seen = []
+        run_resilient(
+            lambda e: seen.append(e), self._experiment(), cycle_budget=9999
+        )
+        assert seen[0].watchdog_window == 9999
+
+    def test_cycle_budget_respects_explicit_watchdog(self):
+        experiment = dataclasses.replace(
+            self._experiment(), watchdog_window=123
+        )
+        seen = []
+        run_resilient(lambda e: seen.append(e), experiment, cycle_budget=9999)
+        assert seen[0].watchdog_window == 123
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(SimulationError):
+            run_resilient(lambda e: e, self._experiment(), attempts=0)
+
+
+def _fake_result(policy, rate):
+    """A stand-in ExperimentResult for stubbed campaign runs."""
+
+    class _Result:
+        metrics = faultsweep._empty_metrics()
+        fault_stats = {
+            "flits_lost": 7,
+            "delivered_fraction": 0.995,
+            "retransmissions": 3,
+            "abandoned": 0,
+        }
+
+    return _Result()
+
+
+class TestFaultCampaign:
+    @pytest.fixture
+    def stub_runner(self, monkeypatch, tiny_profile):
+        calls = []
+
+        def fake(experiment):
+            calls.append(
+                (experiment.scheduler, experiment.faults.flit_loss_prob)
+            )
+            return _fake_result(experiment.scheduler, 0.0)
+
+        monkeypatch.setattr(faultsweep, "simulate_fat_mesh", fake)
+        return calls
+
+    def test_campaign_sweeps_both_schedulers(self, stub_runner):
+        fig = faultsweep.run_fault_campaign("tiny", rates=(0.0, 0.01))
+        assert sorted(fig.series) == ["fifo", "virtual_clock"]
+        assert [p.x for p in fig.series["fifo"]] == [0.0, 0.01]
+        assert len(stub_runner) == 4
+        text = faultsweep.fault_campaign_to_text(fig)
+        assert "scheduler" in text
+        assert "0.9950" in text
+
+    def test_campaign_checkpoints_every_point(self, stub_runner, tmp_path):
+        path = tmp_path / "faults.json"
+        meta = {"rates": ["0.01"]}
+        cp = SweepCheckpoint(path, meta=meta)
+        faultsweep.run_fault_campaign("tiny", rates=(0.01,), checkpoint=cp)
+        assert sorted(cp.done_keys) == ["fifo@0.01", "virtual_clock@0.01"]
+        assert len(stub_runner) == 2
+
+        # a rerun against the same checkpoint recomputes nothing
+        logs = []
+        cp2 = SweepCheckpoint(path, meta=meta)
+        fig = faultsweep.run_fault_campaign(
+            "tiny", rates=(0.01,), checkpoint=cp2, log=logs.append
+        )
+        assert len(stub_runner) == 2  # no new simulation calls
+        assert any("restored from checkpoint" in line for line in logs)
+        point = fig.series["virtual_clock"][0]
+        assert point.extra["delivered_fraction"] == 0.995
+
+    def test_failing_point_is_recorded_not_fatal(
+        self, monkeypatch, tiny_profile, tmp_path
+    ):
+        def wedge(experiment):
+            raise DeadlockError("router 0 wedged")
+
+        monkeypatch.setattr(faultsweep, "simulate_fat_mesh", wedge)
+        cp = SweepCheckpoint(tmp_path / "faults.json", meta={})
+        fig = faultsweep.run_fault_campaign(
+            "tiny", rates=(0.02,), checkpoint=cp
+        )
+        for points in fig.series.values():
+            assert "DeadlockError" in points[0].extra["failed"]
+        text = faultsweep.fault_campaign_to_text(fig)
+        assert "FAILED" in text
+        # the failure is checkpointed too: a rerun does not retry it
+        assert sorted(cp.done_keys) == ["fifo@0.02", "virtual_clock@0.02"]
+
+
+class TestCliResilience:
+    def test_faults_rejects_bad_rates(self, tiny_profile):
+        with pytest.raises(SystemExit):
+            cli.main(["faults", "--profile", "tiny", "--rates", "0.1x"])
+        with pytest.raises(SystemExit):
+            cli.main(["faults", "--profile", "tiny", "--rates", "1.5"])
+
+    def test_faults_command_end_to_end(
+        self, monkeypatch, tiny_profile, tmp_path, capsys
+    ):
+        monkeypatch.setattr(
+            faultsweep, "simulate_fat_mesh", lambda e: _fake_result(None, 0)
+        )
+        path = tmp_path / "cp.json"
+        code = cli.main(
+            [
+                "faults",
+                "--profile",
+                "tiny",
+                "--rates",
+                "0.01",
+                "--checkpoint",
+                str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scheduler" in out
+        assert "completed in" in out
+        # a completed campaign clears its checkpoint
+        assert not path.exists()
+
+    def test_all_resumes_from_checkpoint(
+        self, tiny_profile, tmp_path, capsys
+    ):
+        """A killed ``mediaworm all`` picks up where it stopped."""
+        path = tmp_path / "all.json"
+        cp = SweepCheckpoint(
+            path, meta={"command": "all", "profile": "tiny"}
+        )
+        names = [
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table3",
+        ]
+        for name in names:
+            cp.put(name, f"cached output of {name}")
+        code = cli.main(
+            ["all", "--profile", "tiny", "--checkpoint", str(path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[resuming from" in out
+        for name in names:
+            assert f"cached output of {name}" in out
+            assert f"[{name} restored from checkpoint]" in out
+        # every name was served from the checkpoint, which is then cleared
+        assert not path.exists()
+
+    def test_all_checkpoint_ignores_other_profile(self, tmp_path):
+        path = tmp_path / "all.json"
+        SweepCheckpoint(
+            path, meta={"command": "all", "profile": "default"}
+        ).put("fig3", "stale")
+        cp = SweepCheckpoint(
+            path, meta={"command": "all", "profile": "tiny"}
+        )
+        assert "fig3" not in cp
