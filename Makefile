@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-default repro faults-smoke examples clean
+.PHONY: install test bench bench-default bench-smoke repro faults-smoke examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -15,6 +15,10 @@ bench:            ## quick-profile benchmarks (shape checks)
 
 bench-default:    ## the EXPERIMENTS.md setting (slow)
 	REPRO_BENCH_PROFILE=default $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-smoke:      ## core-engine bench: active vs legacy loop, serial vs pool
+	$(PYTHON) -m repro.experiments.bench_core --profile quick --jobs 2 \
+		--out BENCH_core.json
 
 repro:            ## regenerate every figure/table at the default profile
 	$(PYTHON) -m repro.experiments.cli all --profile default

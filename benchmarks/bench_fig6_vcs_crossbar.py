@@ -13,8 +13,8 @@ from repro.experiments.report import figure_to_text
 from repro.experiments.validation import check_claims, claims_to_text
 
 
-def bench_fig6_vcs_and_crossbar(benchmark, profile):
-    fig = run_once(benchmark, lambda: run_fig6(profile))
+def bench_fig6_vcs_and_crossbar(benchmark, profile, executor):
+    fig = run_once(benchmark, lambda: run_fig6(profile, executor=executor))
     print()
     print(figure_to_text(fig))
     results = check_claims(fig)

@@ -14,8 +14,8 @@ from repro.experiments.report import figure_to_text
 from repro.experiments.validation import check_claims, claims_to_text
 
 
-def bench_fig8_wormhole_vs_pcs(benchmark, profile):
-    fig = run_once(benchmark, lambda: run_fig8(profile))
+def bench_fig8_wormhole_vs_pcs(benchmark, profile, executor):
+    fig = run_once(benchmark, lambda: run_fig8(profile, executor=executor))
     print()
     print(figure_to_text(fig))
     results = check_claims(fig)

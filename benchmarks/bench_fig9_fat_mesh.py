@@ -15,8 +15,8 @@ from repro.experiments.report import figure_to_text
 from repro.experiments.validation import check_claims, claims_to_text
 
 
-def bench_fig9_fat_mesh(benchmark, profile):
-    fig = run_once(benchmark, lambda: run_fig9(profile))
+def bench_fig9_fat_mesh(benchmark, profile, executor):
+    fig = run_once(benchmark, lambda: run_fig9(profile, executor=executor))
     print()
     print(figure_to_text(fig, show_be_latency=True))
     results = check_claims(fig)

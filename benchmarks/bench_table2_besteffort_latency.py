@@ -15,8 +15,8 @@ from repro.experiments.report import table2_to_text
 from repro.experiments.tables import run_table2
 
 
-def bench_table2_besteffort_latency(benchmark, profile):
-    table = run_once(benchmark, lambda: run_table2(profile))
+def bench_table2_besteffort_latency(benchmark, profile, executor):
+    table = run_once(benchmark, lambda: run_table2(profile, executor=executor))
     print()
     print(table2_to_text(table))
 

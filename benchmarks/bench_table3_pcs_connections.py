@@ -13,8 +13,8 @@ from repro.experiments.report import table3_to_text
 from repro.experiments.tables import run_table3
 
 
-def bench_table3_pcs_connections(benchmark, profile):
-    table = run_once(benchmark, lambda: run_table3(profile))
+def bench_table3_pcs_connections(benchmark, profile, executor):
+    table = run_once(benchmark, lambda: run_table3(profile, executor=executor))
     print()
     print(table3_to_text(table))
 

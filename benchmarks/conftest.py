@@ -10,6 +10,10 @@ environment variable:
 * ``quick``   (default) — scale 40, ~30 s-2 min per figure;
 * ``default`` — scale 20, the EXPERIMENTS.md setting;
 * ``full``    — paper-faithful scale 1 (hours; for final validation).
+
+``REPRO_BENCH_JOBS=N`` runs each sweep's points in N worker processes;
+per-point results are bit-identical to the serial run, so the shape
+assertions are unaffected and only the wall clock changes.
 """
 
 import os
@@ -17,6 +21,7 @@ import os
 import pytest
 
 from repro.experiments.figures import PROFILES
+from repro.experiments.parallel import ParallelSweepExecutor
 
 
 @pytest.fixture(scope="session")
@@ -29,6 +34,17 @@ def profile():
         raise pytest.UsageError(
             f"REPRO_BENCH_PROFILE={name!r}; expected one of {sorted(PROFILES)}"
         )
+
+
+@pytest.fixture(scope="session")
+def executor():
+    """Sweep executor from REPRO_BENCH_JOBS (None = the serial path)."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    if jobs < 1:
+        raise pytest.UsageError(f"REPRO_BENCH_JOBS must be >= 1, got {jobs}")
+    if jobs == 1:
+        return None
+    return ParallelSweepExecutor(jobs=jobs)
 
 
 def run_once(benchmark, fn):

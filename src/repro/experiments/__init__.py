@@ -12,9 +12,15 @@ from repro.experiments.config import (
     PCSExperiment,
     SingleSwitchExperiment,
 )
+from repro.experiments.parallel import (
+    ParallelSweepExecutor,
+    SweepTask,
+    execute_tasks,
+)
 from repro.experiments.runner import (
     ExperimentResult,
     PCSResult,
+    WorkloadSummary,
     simulate_fat_mesh,
     simulate_fat_tree,
     simulate_pcs,
@@ -27,7 +33,11 @@ __all__ = [
     "FatTreeExperiment",
     "PCSExperiment",
     "PCSResult",
+    "ParallelSweepExecutor",
     "SingleSwitchExperiment",
+    "SweepTask",
+    "WorkloadSummary",
+    "execute_tasks",
     "simulate_fat_mesh",
     "simulate_fat_tree",
     "simulate_pcs",

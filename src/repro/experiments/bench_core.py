@@ -1,0 +1,204 @@
+"""Core-engine benchmark: active-set loop and parallel sweep scaling.
+
+Measures the two performance claims this repo's simulation core makes,
+and writes them to ``BENCH_core.json`` so CI can archive the numbers:
+
+* **single point** — one fig3 operating point run twice in-process,
+  once with the active-set run loop and once with the legacy
+  full-scan loop (``REPRO_LEGACY_LOOP=1``).  The two runs must produce
+  bit-identical metrics; the wall-clock ratio is recorded (the
+  active-set loop wins on sparse/idle traffic and roughly ties on the
+  small saturated topologies benchmarked here).
+* **sweep scaling** — the fig3 load sweep executed serially and with a
+  process pool (``--jobs N``).  Per-point metrics must again be
+  bit-identical; the speedup is recorded and is the number the
+  acceptance bar (>= 1.5x on 4 cores) reads.
+
+Any metric mismatch exits non-zero — this doubles as a golden-run
+check on real workloads.
+
+Usage::
+
+    python -m repro.experiments.bench_core --profile quick --jobs 4 \
+        --out BENCH_core.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.core.schedulers import SchedulingPolicy
+from repro.experiments.config import SingleSwitchExperiment
+from repro.experiments.figures import (
+    DEFAULT_LOADS,
+    _base_kwargs,
+    get_profile,
+)
+from repro.experiments.parallel import ParallelSweepExecutor, SweepTask
+from repro.experiments.runner import simulate_single_switch
+
+FORMAT = "bench-core-v1"
+
+#: the single-point experiment: fig3's Virtual Clock router at load 0.8
+SINGLE_POINT_LOAD = 0.8
+
+
+def _metrics_dict(result) -> Dict:
+    return dataclasses.asdict(result.metrics)
+
+
+def _single_point(profile) -> Dict:
+    """Active-set vs legacy loop on one fig3 point, in-process.
+
+    The loop choice is read from ``REPRO_LEGACY_LOOP`` when the Network
+    is constructed, so toggling the variable between the two
+    ``simulate_single_switch`` calls selects the loop per run.
+    """
+    experiment = SingleSwitchExperiment(
+        load=SINGLE_POINT_LOAD,
+        mix=(80, 20),
+        scheduler=SchedulingPolicy.VIRTUAL_CLOCK,
+        vcs_per_pc=16,
+        **_base_kwargs(profile),
+    )
+    saved = os.environ.pop("REPRO_LEGACY_LOOP", None)
+    try:
+        started = time.perf_counter()
+        active = simulate_single_switch(experiment)
+        active_s = time.perf_counter() - started
+
+        os.environ["REPRO_LEGACY_LOOP"] = "1"
+        started = time.perf_counter()
+        legacy = simulate_single_switch(experiment)
+        legacy_s = time.perf_counter() - started
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_LEGACY_LOOP", None)
+        else:
+            os.environ["REPRO_LEGACY_LOOP"] = saved
+    return {
+        "load": SINGLE_POINT_LOAD,
+        "active_s": round(active_s, 3),
+        "legacy_s": round(legacy_s, 3),
+        "speedup": round(legacy_s / active_s, 3) if active_s else None,
+        "identical": _metrics_dict(active) == _metrics_dict(legacy),
+    }
+
+
+def _sweep_tasks(profile) -> List[SweepTask]:
+    return [
+        SweepTask(
+            key=f"{policy}@{load:g}",
+            runner=simulate_single_switch,
+            experiment=SingleSwitchExperiment(
+                load=load,
+                mix=(80, 20),
+                scheduler=policy,
+                vcs_per_pc=16,
+                **_base_kwargs(profile),
+            ),
+        )
+        for policy in (SchedulingPolicy.VIRTUAL_CLOCK, SchedulingPolicy.FIFO)
+        for load in DEFAULT_LOADS
+    ]
+
+
+def _sweep_scaling(profile, jobs: int) -> Dict:
+    """Fig3 sweep serially vs in a ``jobs``-worker pool."""
+    started = time.perf_counter()
+    serial = ParallelSweepExecutor(jobs=1).run(_sweep_tasks(profile))
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    pooled = ParallelSweepExecutor(jobs=jobs).run(_sweep_tasks(profile))
+    parallel_s = time.perf_counter() - started
+
+    identical = {key: _metrics_dict(result) for key, result in serial.items()} == {
+        key: _metrics_dict(result) for key, result in pooled.items()
+    }
+    return {
+        "points": len(serial),
+        "jobs": jobs,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "identical": identical,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_core",
+        description="Benchmark the active-set loop and parallel sweeps.",
+    )
+    parser.add_argument("--profile", default="quick")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        help="pool size for the sweep-scaling measurement",
+    )
+    parser.add_argument("--out", default="BENCH_core.json")
+    args = parser.parse_args(argv)
+    if args.jobs < 2:
+        parser.error("--jobs must be >= 2 (scaling needs a pool)")
+
+    profile = get_profile(args.profile)
+    print(f"[bench_core] single point (load {SINGLE_POINT_LOAD:g}) ...")
+    single = _single_point(profile)
+    print(
+        f"[bench_core] active {single['active_s']}s, "
+        f"legacy {single['legacy_s']}s "
+        f"(x{single['speedup']}, identical={single['identical']})"
+    )
+    print(f"[bench_core] fig3 sweep, --jobs {args.jobs} ...")
+    sweep = _sweep_scaling(profile, args.jobs)
+    print(
+        f"[bench_core] serial {sweep['serial_s']}s, "
+        f"{args.jobs} jobs {sweep['parallel_s']}s "
+        f"(x{sweep['speedup']}, identical={sweep['identical']})"
+    )
+
+    # The recorded speedup only means something relative to the cores
+    # actually available: on a 1-core box a pool can't beat serial.
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
+    record = {
+        "format": FORMAT,
+        "profile": profile.name,
+        "cpu_count": cpus,
+        "single_point": single,
+        "sweep": sweep,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(f"[bench_core] wrote {args.out}")
+
+    if not single["identical"]:
+        print(
+            "[bench_core] FAIL: active-set metrics diverge from the "
+            "legacy loop",
+            file=sys.stderr,
+        )
+        return 1
+    if not sweep["identical"]:
+        print(
+            "[bench_core] FAIL: pooled sweep metrics diverge from the "
+            "serial sweep",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -24,6 +24,7 @@ from repro.experiments.figures import (
     get_profile,
     run_mixed_grid,
 )
+from repro.experiments.parallel import ParallelSweepExecutor
 from repro.experiments.report import (
     figure_to_text,
     table2_to_text,
@@ -52,17 +53,18 @@ def _run_one(
     plot: bool = False,
     json_path: str = None,
     check: bool = False,
+    executor: ParallelSweepExecutor = None,
 ) -> str:
     if name == "table2":
-        table = run_table2(profile)
+        table = run_table2(profile, executor=executor)
         _maybe_save(json_path, table)
         return table2_to_text(table)
     if name == "table3":
-        table = run_table3(profile)
+        table = run_table3(profile, executor=executor)
         _maybe_save(json_path, table)
         return table3_to_text(table)
     if name == "fig5":
-        grid = run_mixed_grid(profile)
+        grid = run_mixed_grid(profile, executor=executor)
         fig = FIGURES["fig5"](profile, grid=grid)
         _maybe_save(json_path, fig)
         text = figure_to_text(fig) + "\n\n" + table2_to_text(
@@ -73,7 +75,7 @@ def _run_one(
     if runner is None:
         raise SystemExit(f"unknown experiment {name!r}; try 'mediaworm list'")
     show_latency = name in ("fig9",)
-    fig = runner(profile)
+    fig = runner(profile, executor=executor)
     _maybe_save(json_path, fig)
     text = figure_to_text(fig, show_be_latency=show_latency)
     if plot:
@@ -104,7 +106,7 @@ def _check(fig) -> str:
 
 def _run_one_resilient(
     name: str,
-    profile: str,
+    profile,
     attempts: int = 3,
     **kwargs,
 ) -> str:
@@ -129,7 +131,7 @@ def _run_one_resilient(
     raise last_error
 
 
-def _run_faults(args) -> int:
+def _run_faults(args, profile, executor) -> int:
     """The ``mediaworm faults`` subcommand: a checkpointed fault campaign."""
     from repro.experiments.faultsweep import (
         DEFAULT_FAULT_RATES,
@@ -160,13 +162,33 @@ def _run_faults(args) -> int:
         checkpoint.clear()
     started = time.perf_counter()
     fig = run_fault_campaign(
-        args.profile, rates, checkpoint=checkpoint, log=print
+        profile, rates, checkpoint=checkpoint, log=print, executor=executor
     )
     _maybe_save(args.json, fig)
     print(fault_campaign_to_text(fig))
     print(f"[faults completed in {time.perf_counter() - started:.1f}s]")
     checkpoint.clear()
     return 0
+
+
+def _add_sweep_args(parser) -> None:
+    """Flags shared by every sweep-running subcommand."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=1,
+        help="run sweep points in N worker processes (per-point results "
+        "are bit-identical to --jobs 1)",
+    )
+    parser.add_argument(
+        "--watchdog",
+        type=int,
+        metavar="CYCLES",
+        default=None,
+        help="abort any run making no progress for CYCLES cycles "
+        "(default: each sweep's own policy)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -187,6 +209,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="default",
         help="workload scale / horizon preset",
     )
+    _add_sweep_args(run_parser)
     run_parser.add_argument(
         "--plot",
         action="store_true",
@@ -208,6 +231,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     all_parser.add_argument(
         "--profile", choices=sorted(PROFILES), default="default"
     )
+    _add_sweep_args(all_parser)
     all_parser.add_argument(
         "--checkpoint",
         metavar="PATH",
@@ -227,6 +251,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     faults_parser.add_argument(
         "--profile", choices=sorted(PROFILES), default="default"
     )
+    _add_sweep_args(faults_parser)
     faults_parser.add_argument(
         "--rates",
         metavar="R1,R2,...",
@@ -256,8 +281,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:8s} {desc}")
         return 0
 
+    profile = get_profile(args.profile)
+    if args.watchdog is not None:
+        if args.watchdog < 1:
+            raise SystemExit(f"--watchdog must be >= 1, got {args.watchdog}")
+        profile = replace(profile, watchdog_window=args.watchdog)
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    executor = (
+        ParallelSweepExecutor(jobs=args.jobs, log=print)
+        if args.jobs > 1
+        else None
+    )
+
     if args.command == "faults":
-        return _run_faults(args)
+        return _run_faults(args, profile, executor)
 
     names = (
         [args.experiment]
@@ -291,7 +329,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"[{name} restored from checkpoint]\n")
             continue
         text = _run_one_resilient(
-            name, args.profile, plot=plot, json_path=json_path, check=check
+            name,
+            profile,
+            plot=plot,
+            json_path=json_path,
+            check=check,
+            executor=executor,
         )
         elapsed = time.perf_counter() - started
         print(text)

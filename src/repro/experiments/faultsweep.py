@@ -27,7 +27,8 @@ from repro.experiments.figures import (
     _base_kwargs,
     get_profile,
 )
-from repro.experiments.resilience import SweepCheckpoint, run_resilient
+from repro.experiments.parallel import ParallelSweepExecutor, SweepTask
+from repro.experiments.resilience import SweepCheckpoint
 from repro.experiments.runner import simulate_fat_mesh
 from repro.faults import FaultPlan, RecoveryConfig
 from repro.metrics.collector import RunMetrics
@@ -66,7 +67,25 @@ def _campaign_experiment(profile, policy: str, rate: float) -> FatMeshExperiment
         base,
         faults=FaultPlan(flit_loss_prob=rate),
         recovery=recovery,
-        watchdog_window=2 * interval,
+        # the profile's watchdog (mediaworm --watchdog) wins over the
+        # campaign's scaled default of two frame intervals
+        watchdog_window=profile.watchdog_window or 2 * interval,
+    )
+
+
+def _campaign_point(experiment: FatMeshExperiment) -> Point:
+    """Worker body: run one campaign point, reduced to its figure Point.
+
+    Module-level (picklable) so the parallel executor can run campaign
+    points in pool workers; returning the Point rather than the full
+    result keeps the checkpoint encoding identical between serial and
+    parallel paths.
+    """
+    result = simulate_fat_mesh(experiment)
+    return Point(
+        experiment.faults.flit_loss_prob,
+        result.metrics,
+        extra=result.fault_stats or {},
     )
 
 
@@ -109,46 +128,66 @@ def run_fault_campaign(
     rates: Optional[Sequence[float]] = None,
     checkpoint: Optional[SweepCheckpoint] = None,
     log=None,
+    executor: Optional[ParallelSweepExecutor] = None,
 ) -> FigureData:
     """Sweep flit-loss rates for both schedulers on the fat mesh.
 
     With a ``checkpoint``, every completed point is persisted and a
     rerun with the same metadata skips straight past it; a point that
     keeps failing after the resilient retries records a ``failed`` extra
-    instead of aborting the campaign.
+    instead of aborting the campaign.  An ``executor`` with ``jobs > 1``
+    farms the points out to a process pool; results are bit-identical
+    to the serial path (each point seeds its own RNG streams).
     """
     profile = get_profile(profile)
     rates = DEFAULT_FAULT_RATES if rates is None else tuple(rates)
-    series: Dict[str, List[Point]] = {}
-    for policy in (SchedulingPolicy.VIRTUAL_CLOCK, SchedulingPolicy.FIFO):
-        points: List[Point] = []
-        for rate in rates:
-            key = _point_key(policy, rate)
-            if checkpoint is not None and key in checkpoint:
-                points.append(_point_from_dict(checkpoint.get(key)))
-                if log is not None:
-                    log(f"[faults] {key}: restored from checkpoint")
-                continue
-            experiment = _campaign_experiment(profile, policy, rate)
-            try:
-                result = run_resilient(simulate_fat_mesh, experiment)
-            except SimulationError as exc:
-                point = Point(
-                    rate,
-                    _empty_metrics(),
-                    extra={"failed": f"{type(exc).__name__}: {exc}"},
-                )
-                points.append(point)
-                if checkpoint is not None:
-                    checkpoint.put(key, _point_to_dict(point))
-                if log is not None:
-                    log(f"[faults] {key}: FAILED ({type(exc).__name__})")
-                continue
-            point = Point(rate, result.metrics, extra=result.fault_stats or {})
-            points.append(point)
-            if checkpoint is not None:
-                checkpoint.put(key, _point_to_dict(point))
-        series[policy] = points
+    if executor is None:
+        executor = ParallelSweepExecutor(jobs=1, log=log)
+    policies = (SchedulingPolicy.VIRTUAL_CLOCK, SchedulingPolicy.FIFO)
+    tasks = [
+        SweepTask(
+            key=_point_key(policy, rate),
+            runner=_campaign_point,
+            experiment=_campaign_experiment(profile, policy, rate),
+        )
+        for policy in policies
+        for rate in rates
+    ]
+    if checkpoint is not None and log is not None:
+        for task in tasks:
+            if task.key in checkpoint:
+                log(f"[faults] {task.key}: restored from checkpoint")
+
+    failed: Dict[str, Point] = {}
+
+    def on_failure(task: SweepTask, exc: SimulationError) -> None:
+        rate = task.experiment.faults.flit_loss_prob
+        point = Point(
+            rate,
+            _empty_metrics(),
+            extra={"failed": f"{type(exc).__name__}: {exc}"},
+        )
+        failed[task.key] = point
+        if checkpoint is not None:
+            checkpoint.put(task.key, _point_to_dict(point))
+        if log is not None:
+            log(f"[faults] {task.key}: FAILED ({type(exc).__name__})")
+
+    results = executor.run(
+        tasks,
+        checkpoint=checkpoint,
+        encode=_point_to_dict,
+        decode=_point_from_dict,
+        on_failure=on_failure,
+    )
+    series: Dict[str, List[Point]] = {
+        policy: [
+            results.get(_point_key(policy, rate))
+            or failed[_point_key(policy, rate)]
+            for rate in rates
+        ]
+        for policy in policies
+    }
     return FigureData(
         figure_id="faults",
         title="QoS under link faults (2x2 fat mesh, 80:20 mix, load 0.7)",

@@ -25,6 +25,7 @@ from repro.experiments.config import (
     PCSExperiment,
     SingleSwitchExperiment,
 )
+from repro.experiments.parallel import SweepTask, execute_tasks
 from repro.experiments.runner import (
     ExperimentResult,
     PCSResult,
@@ -46,6 +47,9 @@ class RunProfile:
     warmup_frames: int
     measure_frames: int
     seed: int = 1
+    #: progress watchdog applied to every experiment of the sweep
+    #: (None = each sweep's own default; ``mediaworm --watchdog`` sets it)
+    watchdog_window: Optional[int] = None
 
 
 PROFILES: Dict[str, RunProfile] = {
@@ -119,12 +123,15 @@ class FigureData:
 
 
 def _base_kwargs(profile: RunProfile) -> Dict:
-    return dict(
+    kwargs = dict(
         scale=profile.scale,
         warmup_frames=profile.warmup_frames,
         measure_frames=profile.measure_frames,
         seed=profile.seed,
     )
+    if profile.watchdog_window is not None:
+        kwargs["watchdog_window"] = profile.watchdog_window
+    return kwargs
 
 
 # ----------------------------------------------------------------------
@@ -132,7 +139,9 @@ def _base_kwargs(profile: RunProfile) -> Dict:
 
 
 def run_fig3(
-    profile="default", loads: Optional[Sequence[float]] = None
+    profile="default",
+    loads: Optional[Sequence[float]] = None,
+    executor=None,
 ) -> FigureData:
     """MediaWorm's headline result: rate-based scheduling removes jitter.
 
@@ -142,21 +151,30 @@ def run_fig3(
     """
     profile = get_profile(profile)
     loads = DEFAULT_LOADS if loads is None else loads
-    series: Dict[str, List[Point]] = {}
-    for policy in (SchedulingPolicy.VIRTUAL_CLOCK, SchedulingPolicy.FIFO):
-        points = []
-        for load in loads:
-            result = simulate_single_switch(
-                SingleSwitchExperiment(
-                    load=load,
-                    mix=(80, 20),
-                    scheduler=policy,
-                    vcs_per_pc=16,
-                    **_base_kwargs(profile),
-                )
-            )
-            points.append(Point(load, result.metrics))
-        series[policy] = points
+    policies = (SchedulingPolicy.VIRTUAL_CLOCK, SchedulingPolicy.FIFO)
+    tasks = [
+        SweepTask(
+            key=f"{policy}@{load:g}",
+            runner=simulate_single_switch,
+            experiment=SingleSwitchExperiment(
+                load=load,
+                mix=(80, 20),
+                scheduler=policy,
+                vcs_per_pc=16,
+                **_base_kwargs(profile),
+            ),
+        )
+        for policy in policies
+        for load in loads
+    ]
+    results = execute_tasks(tasks, executor)
+    series: Dict[str, List[Point]] = {
+        policy: [
+            Point(load, results[f"{policy}@{load:g}"].metrics)
+            for load in loads
+        ]
+        for policy in policies
+    }
     return FigureData(
         figure_id="fig3",
         title="Virtual Clock vs FIFO (16 VCs, 80:20 mix)",
@@ -170,26 +188,37 @@ def run_fig3(
 
 
 def run_fig4(
-    profile="default", loads: Optional[Sequence[float]] = None
+    profile="default",
+    loads: Optional[Sequence[float]] = None,
+    executor=None,
 ) -> FigureData:
     """CBR and VBR compared head-to-head with no best-effort component."""
     profile = get_profile(profile)
     loads = DEFAULT_LOADS if loads is None else loads
-    series: Dict[str, List[Point]] = {}
-    for rt_class in (TrafficClass.VBR, TrafficClass.CBR):
-        points = []
-        for load in loads:
-            result = simulate_single_switch(
-                SingleSwitchExperiment(
-                    load=load,
-                    mix=(100, 0),
-                    rt_class=rt_class,
-                    vcs_per_pc=16,
-                    **_base_kwargs(profile),
-                )
-            )
-            points.append(Point(load, result.metrics))
-        series[rt_class] = points
+    classes = (TrafficClass.VBR, TrafficClass.CBR)
+    tasks = [
+        SweepTask(
+            key=f"{rt_class}@{load:g}",
+            runner=simulate_single_switch,
+            experiment=SingleSwitchExperiment(
+                load=load,
+                mix=(100, 0),
+                rt_class=rt_class,
+                vcs_per_pc=16,
+                **_base_kwargs(profile),
+            ),
+        )
+        for rt_class in classes
+        for load in loads
+    ]
+    results = execute_tasks(tasks, executor)
+    series: Dict[str, List[Point]] = {
+        rt_class: [
+            Point(load, results[f"{rt_class}@{load:g}"].metrics)
+            for load in loads
+        ]
+        for rt_class in classes
+    }
     return FigureData(
         figure_id="fig4",
         title="CBR vs VBR traffic (16 VCs, 400 Mbps links)",
@@ -215,23 +244,32 @@ def run_mixed_grid(
     profile="default",
     loads: Optional[Sequence[float]] = None,
     mixes: Optional[Sequence[Tuple[float, float]]] = None,
+    executor=None,
 ) -> Dict[Tuple[Tuple[float, float], float], ExperimentResult]:
     """The (mix x load) grid shared by Fig. 5 and Table 2."""
     profile = get_profile(profile)
     loads = DEFAULT_LOADS if loads is None else loads
     mixes = DEFAULT_MIXES if mixes is None else mixes
-    grid: Dict[Tuple[Tuple[float, float], float], ExperimentResult] = {}
-    for mix in mixes:
-        for load in loads:
-            grid[(tuple(mix), load)] = simulate_single_switch(
-                SingleSwitchExperiment(
-                    load=load,
-                    mix=tuple(mix),
-                    vcs_per_pc=16,
-                    **_base_kwargs(profile),
-                )
-            )
-    return grid
+    tasks = [
+        SweepTask(
+            key=f"{mix[0]:g}:{mix[1]:g}@{load:g}",
+            runner=simulate_single_switch,
+            experiment=SingleSwitchExperiment(
+                load=load,
+                mix=tuple(mix),
+                vcs_per_pc=16,
+                **_base_kwargs(profile),
+            ),
+        )
+        for mix in mixes
+        for load in loads
+    ]
+    results = execute_tasks(tasks, executor)
+    return {
+        (tuple(mix), load): results[f"{mix[0]:g}:{mix[1]:g}@{load:g}"]
+        for mix in mixes
+        for load in loads
+    }
 
 
 def run_fig5(
@@ -239,12 +277,13 @@ def run_fig5(
     loads: Optional[Sequence[float]] = None,
     mixes: Optional[Sequence[Tuple[float, float]]] = None,
     grid: Optional[Dict] = None,
+    executor=None,
 ) -> FigureData:
     """VBR jitter across traffic mixes: one series per input load."""
     loads = DEFAULT_LOADS if loads is None else loads
     mixes = DEFAULT_MIXES if mixes is None else mixes
     if grid is None:
-        grid = run_mixed_grid(profile, loads, mixes)
+        grid = run_mixed_grid(profile, loads, mixes, executor=executor)
     series: Dict[str, List[Point]] = {}
     for load in loads:
         points = []
@@ -269,6 +308,7 @@ def run_fig5(
 def run_fig6(
     profile="default",
     loads: Optional[Sequence[float]] = None,
+    executor=None,
 ) -> FigureData:
     """More VCs vs a full crossbar with few VCs (100:0 traffic)."""
     profile = get_profile(profile)
@@ -279,21 +319,29 @@ def run_fig6(
         ("4 VCs, multiplexed", 4, CrossbarKind.MULTIPLEXED),
         ("4 VCs, full crossbar", 4, CrossbarKind.FULL),
     )
-    series: Dict[str, List[Point]] = {}
-    for label, vcs, crossbar in configs:
-        points = []
-        for load in loads:
-            result = simulate_single_switch(
-                SingleSwitchExperiment(
-                    load=load,
-                    mix=(100, 0),
-                    vcs_per_pc=vcs,
-                    crossbar=crossbar,
-                    **_base_kwargs(profile),
-                )
-            )
-            points.append(Point(load, result.metrics))
-        series[label] = points
+    tasks = [
+        SweepTask(
+            key=f"{label}@{load:g}",
+            runner=simulate_single_switch,
+            experiment=SingleSwitchExperiment(
+                load=load,
+                mix=(100, 0),
+                vcs_per_pc=vcs,
+                crossbar=crossbar,
+                **_base_kwargs(profile),
+            ),
+        )
+        for label, vcs, crossbar in configs
+        for load in loads
+    ]
+    results = execute_tasks(tasks, executor)
+    series: Dict[str, List[Point]] = {
+        label: [
+            Point(load, results[f"{label}@{load:g}"].metrics)
+            for load in loads
+        ]
+        for label, _, _ in configs
+    }
     return FigureData(
         figure_id="fig6",
         title="Impact of VCs and crossbar capability (100:0)",
@@ -310,6 +358,7 @@ def run_fig7(
     profile="default",
     loads: Optional[Sequence[float]] = None,
     message_sizes: Optional[Sequence[int]] = None,
+    executor=None,
 ) -> FigureData:
     """Effect of message size on VBR jitter, with header overhead.
 
@@ -327,22 +376,30 @@ def run_fig7(
         # (4167 flits), so it scales with the workload.
         top = max(40, int(2560 / profile.scale))
         message_sizes = tuple(sorted({10, 20, 40, 80, 160, top}))
-    series: Dict[str, List[Point]] = {}
-    for load in loads:
-        points = []
-        for size in message_sizes:
-            result = simulate_single_switch(
-                SingleSwitchExperiment(
-                    load=load,
-                    mix=(100, 0),
-                    vcs_per_pc=16,
-                    message_size=size,
-                    header_flits=1,
-                    **_base_kwargs(profile),
-                )
-            )
-            points.append(Point(size, result.metrics))
-        series[f"load={load:g}"] = points
+    tasks = [
+        SweepTask(
+            key=f"load={load:g}@{size}",
+            runner=simulate_single_switch,
+            experiment=SingleSwitchExperiment(
+                load=load,
+                mix=(100, 0),
+                vcs_per_pc=16,
+                message_size=size,
+                header_flits=1,
+                **_base_kwargs(profile),
+            ),
+        )
+        for load in loads
+        for size in message_sizes
+    ]
+    results = execute_tasks(tasks, executor)
+    series: Dict[str, List[Point]] = {
+        f"load={load:g}": [
+            Point(size, results[f"load={load:g}@{size}"].metrics)
+            for size in message_sizes
+        ]
+        for load in loads
+    }
     return FigureData(
         figure_id="fig7",
         title="Effect of message size on jitter (16 VCs)",
@@ -360,25 +417,38 @@ def run_fig7(
 def run_fig8(
     profile="default",
     loads: Optional[Sequence[float]] = None,
+    executor=None,
 ) -> FigureData:
     """Wormhole (MediaWorm) against the connection-oriented PCS router."""
     profile = get_profile(profile)
     loads = FIG8_LOADS if loads is None else loads
-    series: Dict[str, List[Point]] = {"wormhole": [], "pcs": []}
-    for load in loads:
-        wh = simulate_single_switch(
-            SingleSwitchExperiment(
+    tasks = [
+        SweepTask(
+            key=f"wormhole@{load:g}",
+            runner=simulate_single_switch,
+            experiment=SingleSwitchExperiment(
                 load=load,
                 mix=(100, 0),
                 bandwidth_mbps=100.0,
                 vcs_per_pc=24,
                 **_base_kwargs(profile),
-            )
+            ),
         )
+        for load in loads
+    ] + [
+        SweepTask(
+            key=f"pcs@{load:g}",
+            runner=simulate_pcs,
+            experiment=PCSExperiment(load=load, **_base_kwargs(profile)),
+        )
+        for load in loads
+    ]
+    results = execute_tasks(tasks, executor)
+    series: Dict[str, List[Point]] = {"wormhole": [], "pcs": []}
+    for load in loads:
+        wh = results[f"wormhole@{load:g}"]
         series["wormhole"].append(Point(load, wh.metrics))
-        pcs = simulate_pcs(
-            PCSExperiment(load=load, **_base_kwargs(profile))
-        )
+        pcs = results[f"pcs@{load:g}"]
         series["pcs"].append(
             Point(
                 load,
@@ -415,25 +485,37 @@ def run_fig9(
     profile="default",
     loads: Optional[Sequence[float]] = None,
     mixes: Optional[Sequence[Tuple[float, float]]] = None,
+    executor=None,
 ) -> FigureData:
     """The 2x2 fat mesh: jitter and best-effort latency across mixes."""
     profile = get_profile(profile)
     loads = FIG9_LOADS if loads is None else loads
     mixes = DEFAULT_FAT_MESH_MIXES if mixes is None else mixes
-    series: Dict[str, List[Point]] = {}
-    for load in loads:
-        points = []
-        for mix in mixes:
-            result = simulate_fat_mesh(
-                FatMeshExperiment(
-                    load=load,
-                    mix=tuple(mix),
-                    vcs_per_pc=16,
-                    **_base_kwargs(profile),
-                )
+    tasks = [
+        SweepTask(
+            key=f"load={load:g}@{mix[0]:g}:{mix[1]:g}",
+            runner=simulate_fat_mesh,
+            experiment=FatMeshExperiment(
+                load=load,
+                mix=tuple(mix),
+                vcs_per_pc=16,
+                **_base_kwargs(profile),
+            ),
+        )
+        for load in loads
+        for mix in mixes
+    ]
+    results = execute_tasks(tasks, executor)
+    series: Dict[str, List[Point]] = {
+        f"load={load:g}": [
+            Point(
+                f"{mix[0]:g}:{mix[1]:g}",
+                results[f"load={load:g}@{mix[0]:g}:{mix[1]:g}"].metrics,
             )
-            points.append(Point(f"{mix[0]:g}:{mix[1]:g}", result.metrics))
-        series[f"load={load:g}"] = points
+            for mix in mixes
+        ]
+        for load in loads
+    }
     return FigureData(
         figure_id="fig9",
         title="(2x2) fat mesh: jitter and best-effort latency",

@@ -9,7 +9,7 @@ best-effort latency) in paper units.
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace as dataclasses_replace
 from typing import Dict, Optional
 
 from repro.faults import install_faults, install_recovery
@@ -22,13 +22,44 @@ from repro.sim.rng import RngStreams
 from repro.traffic.mix import Workload, build_workload
 
 
+@dataclass(frozen=True)
+class WorkloadSummary:
+    """Picklable digest of a :class:`~repro.traffic.mix.Workload`.
+
+    A live workload holds network-attached traffic sources and cannot
+    cross a process boundary; sweep workers ship this summary back
+    instead (see :meth:`ExperimentResult.portable`).  It carries every
+    field downstream consumers read off a finished run.
+    """
+
+    achieved_rt_load: float
+    achieved_be_load: float
+    streams_per_node: int
+    num_streams: int
+
+    @property
+    def achieved_load(self) -> float:
+        return self.achieved_rt_load + self.achieved_be_load
+
+    @classmethod
+    def of(cls, workload: Workload) -> "WorkloadSummary":
+        return cls(
+            achieved_rt_load=workload.achieved_rt_load,
+            achieved_be_load=workload.achieved_be_load,
+            streams_per_node=workload.streams_per_node,
+            num_streams=len(workload.streams),
+        )
+
+
 @dataclass
 class ExperimentResult:
     """Outcome of one wormhole-network run."""
 
     experiment: object
     metrics: RunMetrics
-    workload: Workload
+    #: the live workload, or its :class:`WorkloadSummary` after
+    #: :meth:`portable` (results returned from sweep workers)
+    workload: object
     cycles_run: int
     flits_injected: int
     flits_ejected: int
@@ -42,6 +73,18 @@ class ExperimentResult:
         """Offered input-link load after stream-count rounding."""
         return self.workload.achieved_load
 
+    def portable(self) -> "ExperimentResult":
+        """A copy safe to pickle across process boundaries.
+
+        Everything but the workload already pickles; the live workload
+        (network-attached sources) is replaced by its summary.  Calling
+        this on an already-portable result is a no-op copy.
+        """
+        workload = self.workload
+        if isinstance(workload, Workload):
+            workload = WorkloadSummary.of(workload)
+        return dataclasses_replace(self, workload=workload)
+
 
 @dataclass
 class PCSResult:
@@ -54,6 +97,10 @@ class PCSResult:
     established_streams: int
     cycles_run: int
     wall_seconds: float
+
+    def portable(self) -> "PCSResult":
+        """PCS results hold no live network references; pickle as-is."""
+        return self
 
 
 def _run_network(experiment, network: Network, collector: MetricsCollector):

@@ -18,6 +18,7 @@ from repro.experiments.figures import (
     get_profile,
     run_mixed_grid,
 )
+from repro.experiments.parallel import SweepTask, execute_tasks
 from repro.experiments.runner import PCSResult, simulate_pcs
 
 #: the paper marks saturated best-effort latencies as "Sat."
@@ -70,12 +71,13 @@ def run_table2(
     loads: Optional[Sequence[float]] = None,
     mixes: Optional[Sequence[Tuple[float, float]]] = None,
     grid: Optional[Dict] = None,
+    executor=None,
 ) -> Table2Data:
     """Average best-effort latency for the (mix x load) grid."""
     loads = DEFAULT_LOADS if loads is None else loads
     mixes = TABLE2_MIXES if mixes is None else mixes
     if grid is None:
-        grid = run_mixed_grid(profile, loads, mixes)
+        grid = run_mixed_grid(profile, loads, mixes, executor=executor)
     latency: Dict[Tuple[Tuple[float, float], float], float] = {}
     for mix in mixes:
         for load in loads:
@@ -111,22 +113,31 @@ class Table3Data:
 
 
 def run_table3(
-    profile="default", loads: Optional[Sequence[float]] = None
+    profile="default",
+    loads: Optional[Sequence[float]] = None,
+    executor=None,
 ) -> Table3Data:
     """Attempted / established / dropped PCS connections per load."""
     profile = get_profile(profile)
     loads = TABLE3_LOADS if loads is None else loads
-    rows: List[Table3Row] = []
-    for load in loads:
-        result: PCSResult = simulate_pcs(
-            PCSExperiment(
+    tasks = [
+        SweepTask(
+            key=f"pcs@{load:g}",
+            runner=simulate_pcs,
+            experiment=PCSExperiment(
                 load=load,
                 scale=profile.scale,
                 warmup_frames=profile.warmup_frames,
                 measure_frames=profile.measure_frames,
                 seed=profile.seed,
-            )
+            ),
         )
+        for load in loads
+    ]
+    results = execute_tasks(tasks, executor)
+    rows: List[Table3Row] = []
+    for load in loads:
+        result: PCSResult = results[f"pcs@{load:g}"]
         stats = result.connections
         rows.append(
             Table3Row(

@@ -71,6 +71,9 @@ class HostInterface:
         #: queueing (frame bursts paced at stream rate) doesn't count
         #: against the timeout
         self.on_start: Optional[Callable[[Message, int], None]] = None
+        #: activation hook fired when this NI gains backlog; installed
+        #: by the network so the active-set loop starts stepping it
+        self.on_activated: Optional[Callable[[], None]] = None
 
     def inject(self, clock: int, msg: Message) -> None:
         """Queue a message for transmission on its source VC.
@@ -92,6 +95,8 @@ class HostInterface:
         self._active.add(msg.src_vc)
         self.flits_injected += msg.size
         self.messages_injected += 1
+        if self.on_activated is not None:
+            self.on_activated()
 
     def _open_head(self, vc: _NIVC) -> None:
         """Start serving a new head message on ``vc``."""
@@ -172,6 +177,18 @@ class HostInterface:
     @property
     def has_backlog(self) -> bool:
         return bool(self._active)
+
+    def next_due(self, clock: int) -> Optional[int]:
+        """When this NI next needs a :meth:`step`, or ``None`` when idle.
+
+        An NI with backlog must be stepped every cycle (whether it can
+        send depends on credits, which it cannot predict), so the wake
+        time is ``clock`` while busy.  This is the NI half of the
+        component wake-time contract; links report concrete future
+        arrival cycles instead (:meth:`repro.network.link.Link
+        .next_arrival`).
+        """
+        return clock if self._active else None
 
 
 class HostSink:

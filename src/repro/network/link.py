@@ -37,6 +37,7 @@ class Link:
         "pending",
         "label",
         "faults",
+        "on_wake",
     )
 
     def __init__(
@@ -63,10 +64,17 @@ class Link:
         self.faults = None
         #: in-flight flits: (arrival_cycle, msg, flit_index, vc_index)
         self.pending: Deque[Tuple[int, Message, int, int]] = deque()
+        #: activation hook ``on_wake(arrival_cycle)`` installed by the
+        #: network so the active-set loop learns when this link next
+        #: needs service (None when the link is driven manually)
+        self.on_wake = None
 
     def send(self, clock: int, msg: Message, flit_index: int, vc_index: int) -> None:
         """Put one flit on the wire at cycle ``clock``."""
-        self.pending.append((clock + self.latency, msg, flit_index, vc_index))
+        arrival = clock + self.latency
+        self.pending.append((arrival, msg, flit_index, vc_index))
+        if self.on_wake is not None:
+            self.on_wake(arrival)
 
     def deliver_due(self, clock: int) -> int:
         """Hand over every flit whose latency has elapsed.

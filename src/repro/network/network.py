@@ -2,14 +2,24 @@
 
 ``Network`` owns everything that moves flits: routers, links, host
 interfaces and sinks, the injection event heap, and the global cycle
-counter.  The loop advances cycle by cycle while any flit is alive and
-jumps the clock across idle gaps (sparse injections at low load), so
-simulation cost tracks traffic, not wall-clock span.
+counter.  The loop visits only the *active* set each cycle — links with
+in-flight flits due, NIs with backlog, routers with busy stages — and
+jumps the clock to the next component wake time (or injection event)
+whenever nothing is runnable, so simulation cost tracks activity, not
+topology size or wall-clock span.
+
+Setting ``REPRO_LEGACY_LOOP=1`` in the environment (read at network
+construction) selects the original full-scan loop instead; the two are
+bit-identical by contract (see ``docs/simulator-internals.md`` and the
+golden-run test in ``tests/test_activation.py``).
 """
 
 from __future__ import annotations
 
+import logging
+import os
 from dataclasses import replace
+from functools import partial
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import ConfigurationError, DeadlockError, SimulationError
@@ -19,7 +29,10 @@ from repro.network.topology import Topology
 from repro.router.config import RouterConfig
 from repro.router.flit import Message
 from repro.router.router import WormholeRouter
+from repro.sim.activation import ActivationScheduler
 from repro.sim.events import EventHeap
+
+logger = logging.getLogger(__name__)
 
 
 class Network:
@@ -35,6 +48,14 @@ class Network:
     ) -> None:
         self.topology = topology
         if config.num_ports != topology.ports_per_router:
+            logger.warning(
+                "config.num_ports=%d does not match the topology's "
+                "ports_per_router=%d; adapting the router config to the "
+                "topology (pass num_ports=%d to silence this)",
+                config.num_ports,
+                topology.ports_per_router,
+                topology.ports_per_router,
+            )
             config = replace(config, num_ports=topology.ports_per_router)
         self.config = config
         self.clock = 0
@@ -80,6 +101,28 @@ class Network:
         if config.preemption:
             for router in self.routers:
                 router.on_preempt = self._preempt
+
+        #: original full-scan loop fallback (read once, at construction)
+        self._legacy_loop = os.environ.get("REPRO_LEGACY_LOOP", "") == "1"
+        # Activation schedulers, one per component kind.  Ids follow the
+        # legacy loop's iteration order (link list index, NI wiring
+        # order, router id) so sorted active subsets replay the legacy
+        # order exactly — the bit-identical contract.
+        self._link_sched = ActivationScheduler()
+        self._ni_sched = ActivationScheduler()
+        self._router_sched = ActivationScheduler()
+        self._ni_list: List[HostInterface] = list(self.interfaces.values())
+        #: per-link wake closures, installed as ``Link.on_wake`` while
+        #: the link is cold and *removed* while it is hot (a hot link is
+        #: visited every cycle, so per-flit wake calls would be waste)
+        self._link_wakers: List[Callable[[int], None]] = [
+            partial(self._link_sched.wake_at, index)
+            for index in range(len(self.links))
+        ]
+        for index, link in enumerate(self.links):
+            link.on_wake = self._link_wakers[index]
+        for index, ni in enumerate(self._ni_list):
+            ni.on_activated = partial(self._ni_sched.activate, index)
 
     # ------------------------------------------------------------------
     # construction
@@ -224,7 +267,34 @@ class Network:
             dropped += router.purge_message(msg)
         self._flits_in_flight -= dropped
         self.flits_dropped += dropped
+        # A purge can both quiesce components (emptied buffers) and
+        # create work (a queued message re-entering arbitration), so
+        # re-derive the active sets from scratch.  Kills are rare
+        # (preemption, recovery teardown); the O(components) resync is
+        # far off the hot path.
+        self._resync_activity()
         return dropped
+
+    def _resync_activity(self) -> None:
+        """Re-derive every activation record from component state."""
+        for index, ni in enumerate(self._ni_list):
+            if ni.has_backlog:
+                self._ni_sched.activate(index)
+            else:
+                self._ni_sched.deactivate(index)
+        for router in self.routers:
+            if router.quiescent:
+                self._router_sched.deactivate(router.router_id)
+            else:
+                self._router_sched.activate(router.router_id)
+        for index, link in enumerate(self.links):
+            arrival = link.next_arrival()
+            if arrival is None:
+                if self._link_sched.is_active(index):
+                    self._link_sched.deactivate(index)
+                    link.on_wake = self._link_wakers[index]
+            elif not self._link_sched.is_active(index):
+                self._link_sched.wake_at(index, arrival)
 
     def _preempt(self, victim: Message) -> None:
         """Router hook: kill ``victim`` and schedule its retransmission."""
@@ -266,6 +336,16 @@ class Network:
     def run(self, until: int) -> None:
         """Advance the simulation to cycle ``until``.
 
+        The active-set loop visits, per executed cycle, only the links
+        with a delivery due, the NIs with backlog, and the routers with
+        busy stages — in the legacy full-scan order, so results are
+        bit-identical to :meth:`_run_legacy`.  When nothing is runnable
+        it jumps the clock to the earliest wake time (link arrival or
+        scheduled event); with flits in flight and the watchdog armed,
+        the jump is capped at ``stall_clock + watchdog_window`` so a
+        :class:`DeadlockError` fires at exactly the cycle the legacy
+        loop would have raised it.
+
         With :attr:`watchdog_window` set, the loop tracks delivery
         progress (flits handed over by links) and raises
         :class:`DeadlockError` when flits are in flight but nothing has
@@ -274,10 +354,140 @@ class Network:
         fails fast with a diagnostic dump instead of spinning to the
         horizon.
         """
+        if self._legacy_loop:
+            return self._run_legacy(until)
         clock = self.clock
         events = self.events
         links = self.links
-        interfaces = list(self.interfaces.values())
+        interfaces = self._ni_list
+        routers = self.routers
+        link_sched = self._link_sched
+        ni_sched = self._ni_sched
+        router_sched = self._router_sched
+        # Hot-path friend access: the per-cycle loop below touches these
+        # sets directly (membership tests and the jump predicate) to
+        # avoid method-call overhead; all *mutations* still go through
+        # the scheduler API so its memoised order stays valid.
+        link_active = link_sched._active
+        ni_active = ni_sched._active
+        router_active = router_sched._active
+        link_wakers = self._link_wakers
+        watchdog = self.watchdog_window
+        stall_clock = max(self._stall_clock, clock - 1)
+        while clock < until:
+            if not (ni_active or router_active):
+                # Nothing is runnable every-cycle; jump to the earliest
+                # timed activity (a link arrival or a scheduled event).
+                # Hot links are demoted to timed wakes first so their
+                # next delivery is visible to the jump computation.
+                for index in link_sched.drain_active():
+                    link = links[index]
+                    link.on_wake = link_wakers[index]
+                    arrival = link.next_arrival()
+                    if arrival is not None:
+                        link_sched.wake_at(index, arrival)
+                nxt = events.next_time()
+                wake = link_sched.next_time()
+                if wake is not None and (nxt is None or wake < nxt):
+                    nxt = wake
+                if nxt is None:
+                    if self._flits_in_flight == 0:
+                        clock = until
+                        break
+                    # Defensive backstop: flits are alive but no wake is
+                    # armed — activity tracking must have been bypassed
+                    # (e.g. hand-driven components).  Degrade this
+                    # network to the legacy full scan permanently
+                    # rather than mis-simulating.
+                    logger.warning(
+                        "active-set tracking lost %d in-flight flits at "
+                        "cycle %d; falling back to the legacy loop",
+                        self._flits_in_flight,
+                        clock,
+                    )
+                    self._legacy_loop = True
+                    self._stall_clock = stall_clock
+                    self.clock = clock
+                    return self._run_legacy(until)
+                if nxt > clock:
+                    if watchdog is not None and self._flits_in_flight:
+                        # Never jump past the cycle the legacy loop
+                        # would raise the watchdog at.
+                        nxt = min(nxt, stall_clock + watchdog)
+                    clock = min(nxt, until)
+                    if self._flits_in_flight == 0:
+                        stall_clock = clock
+                    if clock >= until:
+                        break
+            self.clock = clock
+            events.fire_due(clock)
+            progress = 0
+            for index in link_sched.due(clock):
+                link = links[index]
+                pending = link.pending
+                if not pending:
+                    if index in link_active:
+                        link_sched.deactivate(index)
+                        link.on_wake = link_wakers[index]
+                    continue
+                if pending[0][0] > clock:
+                    # Spurious wake (head not due yet — sender paused or
+                    # flits were purged); go back to a timed wake.
+                    if index in link_active:
+                        link_sched.deactivate(index)
+                        link.on_wake = link_wakers[index]
+                    link_sched.wake_at(index, pending[0][0])
+                    continue
+                progress += link.deliver_due(clock)
+                if link.pending:
+                    # Still streaming: keep the link hot (visited every
+                    # cycle, no per-flit wake or heap traffic).
+                    if index not in link_active:
+                        link_sched.activate(index)
+                        link.on_wake = None
+                elif index in link_active:
+                    link_sched.deactivate(index)
+                    link.on_wake = link_wakers[index]
+                router = link.dest_router
+                if router is not None and router._work:
+                    rid = router.router_id
+                    if rid not in router_active:
+                        router_sched.activate(rid)
+            for index in ni_sched.due(clock):
+                ni = interfaces[index]
+                ni.step(clock)
+                if not ni._active:
+                    ni_sched.deactivate(index)
+            for rid in router_sched.due(clock):
+                if routers[rid].step(clock):
+                    router_sched.deactivate(rid)
+            if watchdog is not None:
+                if progress or not self._flits_in_flight:
+                    stall_clock = clock
+                elif clock - stall_clock >= watchdog:
+                    self._stall_clock = stall_clock
+                    self.clock = clock
+                    raise DeadlockError(
+                        f"no flit delivered for {clock - stall_clock} cycles "
+                        f"(watchdog window {watchdog}) at cycle {clock} with "
+                        f"{self._flits_in_flight} flits in flight\n"
+                        + self.stall_report()
+                    )
+            clock += 1
+        self._stall_clock = stall_clock
+        self.clock = clock
+
+    def _run_legacy(self, until: int) -> None:
+        """The original full-scan cycle loop (``REPRO_LEGACY_LOOP=1``).
+
+        Visits every link, NI, and router each executed cycle and jumps
+        the clock only when the network is empty.  Kept verbatim as the
+        golden reference the active-set loop is validated against.
+        """
+        clock = self.clock
+        events = self.events
+        links = self.links
+        interfaces = self._ni_list
         routers = self.routers
         watchdog = self.watchdog_window
         stall_clock = max(self._stall_clock, clock - 1)

@@ -20,9 +20,12 @@ order so a flit advances at most one stage per cycle:
    arriving flits are stamped for the crossbar-input scheduler and
    buffered (:meth:`WormholeRouter.accept_flit` is called by the link).
 
-Activity sets (``_pending_arb``, ``_sendable``, ``_out_active``) keep
-the per-cycle cost proportional to the number of busy VCs rather than
-the total number of VCs.
+Activity sets (``_pending_arb``, ``_sendable``, ``_out_active``) and
+the port worklists built on them (``_in_ports``, ``_out_ports``) keep
+the per-cycle cost proportional to the number of busy VCs/ports rather
+than the router's total VC count; :meth:`WormholeRouter.step` reports
+quiescence so the network's active-set loop stops visiting an idle
+router entirely until a flit arrival re-activates it.
 """
 
 from __future__ import annotations
@@ -93,6 +96,11 @@ class WormholeRouter:
         self._pending_arb: List[InputVC] = []
         self._sendable: List[Set[int]] = [set() for _ in range(n)]
         self._out_active: List[Set[int]] = [set() for _ in range(n)]
+        # Port worklists: ports whose _sendable / _out_active set is
+        # nonempty, so the crossbar and stage-5 loops visit only busy
+        # ports instead of scanning all n every cycle.
+        self._in_ports: Set[int] = set()
+        self._out_ports: Set[int] = set()
         self._work = 0  # total busy indicators, for fast idle skip
         self._arb_rotate = 0
         #: optional hook(msg, flit_index) fired when a flit crosses the
@@ -126,25 +134,49 @@ class WormholeRouter:
             sendable = self._sendable[port]
             if vc_index not in sendable:
                 sendable.add(vc_index)
+                self._in_ports.add(port)
                 self._work += 1
 
     # ------------------------------------------------------------------
     # main per-cycle step
 
-    def step(self, clock: int) -> None:
-        """Advance every pipeline stage by one cycle."""
-        if not self._work:
-            return
-        self._stage5_output(clock)
-        self._stage4_crossbar(clock)
-        self._stage23_route_arbitrate(clock)
+    def step(self, clock: int) -> bool:
+        """Advance every pipeline stage by one cycle.
+
+        Returns ``True`` when the router is quiescent afterwards — no
+        stage holds work, so the active-set loop may stop stepping it
+        until a flit arrival (:meth:`accept_flit`) re-activates it.
+        """
+        if self._work:
+            self._stage5_output(clock)
+            self._stage4_crossbar(clock)
+            self._stage23_route_arbitrate(clock)
+        return not self._work
+
+    @property
+    def quiescent(self) -> bool:
+        """True when no pipeline stage holds work."""
+        return not self._work
+
+    def stage_quiescence(self) -> "dict[str, bool]":
+        """Per-stage quiescence report (introspection / diagnostics).
+
+        Keys follow the pipeline: ``arbitration`` (stages 2/3 — headers
+        awaiting routing or an output VC), ``crossbar`` (stage 4 —
+        granted input VCs with buffered flits), ``output`` (stage 5 —
+        output VCs with staged flits).
+        """
+        return {
+            "arbitration": not self._pending_arb,
+            "crossbar": not self._in_ports,
+            "output": not self._out_ports,
+        }
 
     # -- stage 5: output VC multiplexer + link ------------------------
 
     def _stage5_output(self, clock: int) -> None:
-        for port, active in enumerate(self._out_active):
-            if not active:
-                continue
+        for port in sorted(self._out_ports):
+            active = self._out_active[port]
             ovcs = self.outputs[port]
             candidates = []
             for index in active:
@@ -168,6 +200,8 @@ class WormholeRouter:
             self.out_flits[port] += 1
             if not ovc.queue:
                 active.discard(chosen)
+                if not active:
+                    self._out_ports.discard(port)
                 self._work -= 1
             if msg.is_tail(flit_index):
                 ovc.release()
@@ -195,7 +229,8 @@ class WormholeRouter:
         the finite per-VC staging space (contention point B's queue).
         """
         inputs = self.inputs
-        for port, sendable in enumerate(self._sendable):
+        for port in sorted(self._in_ports):
+            sendable = self._sendable[port]
             if not sendable:
                 continue
             port_vcs = inputs[port]
@@ -214,7 +249,8 @@ class WormholeRouter:
 
     def _crossbar_full(self, clock: int) -> None:
         inputs = self.inputs
-        for port, sendable in enumerate(self._sendable):
+        for port in sorted(self._in_ports):
+            sendable = self._sendable[port]
             if not sendable:
                 continue
             port_vcs = inputs[port]
@@ -238,11 +274,12 @@ class WormholeRouter:
         out_active = self._out_active[ovc.port]
         if ovc.index not in out_active:
             out_active.add(ovc.index)
+            self._out_ports.add(ovc.port)
             self._work += 1
         if self.on_crossbar is not None:
             self.on_crossbar(msg, flit_index)
         if msg.is_tail(flit_index):
-            self._sendable[vc.port].discard(vc.index)
+            self._drop_sendable(vc)
             self._work -= 1
             if vc.release_front():
                 # Another message is queued behind the tail; its header
@@ -250,8 +287,15 @@ class WormholeRouter:
                 self._pending_arb.append(vc)
                 self._work += 1
         elif not vc.front_has_flit:
-            self._sendable[vc.port].discard(vc.index)
+            self._drop_sendable(vc)
             self._work -= 1
+
+    def _drop_sendable(self, vc: InputVC) -> None:
+        """Remove ``vc`` from its port's crossbar worklist."""
+        sendable = self._sendable[vc.port]
+        sendable.discard(vc.index)
+        if not sendable:
+            self._in_ports.discard(vc.port)
 
     # -- stages 2 and 3: routing decision + output VC arbitration ------
 
@@ -292,6 +336,7 @@ class WormholeRouter:
             sendable = self._sendable[vc.port]
             if vc.index not in sendable:
                 sendable.add(vc.index)
+                self._in_ports.add(vc.port)
                 self._work += 1
         self._work -= 1  # leaves pending_arb
         return True
@@ -421,7 +466,7 @@ class WormholeRouter:
                     vc.credit_sink.credits += removed
                 if had_grant:
                     if vc.index in self._sendable[port]:
-                        self._sendable[port].discard(vc.index)
+                        self._drop_sendable(vc)
                         self._work -= 1
                 if was_front:
                     if vc in self._pending_arb:
@@ -440,6 +485,8 @@ class WormholeRouter:
                         active = self._out_active[ovc.port]
                         if ovc.index in active:
                             active.discard(ovc.index)
+                            if not active:
+                                self._out_ports.discard(ovc.port)
                             self._work -= 1
         return dropped
 
@@ -477,6 +524,14 @@ class WormholeRouter:
         for port_ovcs in self.outputs:
             for ovc in port_ovcs:
                 ovc.check_invariants()
+        in_ports = {p for p, vcs in enumerate(self._sendable) if vcs}
+        out_ports = {p for p, vcs in enumerate(self._out_active) if vcs}
+        if self._in_ports != in_ports or self._out_ports != out_ports:
+            raise FlowControlError(
+                f"router {self.router_id} port worklists drifted: "
+                f"in {sorted(self._in_ports)} vs {sorted(in_ports)}, "
+                f"out {sorted(self._out_ports)} vs {sorted(out_ports)}"
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

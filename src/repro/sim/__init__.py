@@ -9,6 +9,7 @@ shrinks workload time constants while preserving every bandwidth ratio,
 which is what makes long flit-level runs tractable in pure Python.
 """
 
+from repro.sim.activation import ActivationScheduler
 from repro.sim.events import EventHeap
 from repro.sim.rng import RngStreams
 from repro.sim.units import (
@@ -20,6 +21,7 @@ from repro.sim.units import (
 )
 
 __all__ = [
+    "ActivationScheduler",
     "EventHeap",
     "RngStreams",
     "LinkSpec",

@@ -1,0 +1,148 @@
+"""Activation scheduling: which components may act, and when.
+
+The legacy cycle loop paid a fixed cost per cycle — every link, host
+interface, and router was visited whether or not it had anything to do.
+The :class:`ActivationScheduler` inverts that: components *register*
+their activity transitions and the loop visits only the active set, so
+simulation cost tracks activity instead of topology size.
+
+Two activation styles cover every component kind:
+
+* **persistent** — :meth:`activate` / :meth:`deactivate`.  The
+  component is runnable every cycle while active (a router with busy
+  VCs, a host interface with queued messages).  Its wake time is
+  implicitly "now".
+* **timed** — :meth:`wake_at`.  A one-shot wake at a known future cycle
+  (a link whose earliest in-flight flit arrives then).  Timed wakes use
+  a lazy-deletion binary heap: re-arming earlier pushes a fresh entry
+  and the stale one is skipped when popped.
+
+Determinism contract
+--------------------
+
+Components are identified by small integer ids assigned in the same
+order the legacy loop iterated them.  :meth:`due` returns ids in
+ascending order, so an active-set run visits components in exactly the
+legacy order, restricted to the non-no-op subset — which is what makes
+active-set runs bit-identical to the legacy full scan (the golden-run
+regression in ``tests/test_activation.py`` pins this).
+
+Spurious wakes are harmless by construction: a component stepped with
+nothing due no-ops exactly as it did under the legacy full scan.  A
+*missing* wake, by contrast, would silently change results — hence the
+conservative rule that every producer of future work (``Link.send``,
+``HostInterface.inject``, flit arrival at a router) arms its wake at
+the moment the work is created.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class ActivationScheduler:
+    """Deterministic active-set and wake-time tracker for one component kind."""
+
+    __slots__ = ("_active", "_heap", "_armed", "_cache")
+
+    def __init__(self) -> None:
+        #: ids runnable every cycle until deactivated
+        self._active: Set[int] = set()
+        #: (time, id) timed wakes; may hold stale entries (lazy deletion)
+        self._heap: List[Tuple[int, int]] = []
+        #: id -> earliest armed wake time (the authoritative record)
+        self._armed: Dict[int, int] = {}
+        #: memoised ``sorted(self._active)``; None after any mutation.
+        #: At steady state the active set barely changes, so :meth:`due`
+        #: is usually a heap peek plus a cached-list return.
+        self._cache: Optional[List[int]] = None
+
+    # -- persistent activation -----------------------------------------
+
+    def activate(self, cid: int) -> None:
+        """Mark ``cid`` runnable every cycle until :meth:`deactivate`."""
+        if cid not in self._active:
+            self._active.add(cid)
+            self._cache = None
+
+    def deactivate(self, cid: int) -> None:
+        """Clear ``cid``'s persistent activation (timed wakes survive)."""
+        if cid in self._active:
+            self._active.remove(cid)
+            self._cache = None
+
+    def drain_active(self) -> List[int]:
+        """Snapshot and clear every persistent activation (ascending).
+
+        Used when the loop wants to jump the clock: persistent members
+        with a knowable next-due time (hot links) are demoted to timed
+        wakes so :meth:`next_time` sees them.
+        """
+        out = sorted(self._active)
+        self._active.clear()
+        self._cache = None
+        return out
+
+    def is_active(self, cid: int) -> bool:
+        return cid in self._active
+
+    @property
+    def has_active(self) -> bool:
+        """True when any component is persistently active."""
+        return bool(self._active)
+
+    # -- timed wakes ----------------------------------------------------
+
+    def wake_at(self, cid: int, time: int) -> None:
+        """Arm a one-shot wake for ``cid`` at cycle ``time``.
+
+        Re-arming with a later time than already armed is a no-op (the
+        earlier wake services both); re-arming earlier supersedes.
+        """
+        armed = self._armed.get(cid)
+        if armed is not None and armed <= time:
+            return
+        self._armed[cid] = time
+        heapq.heappush(self._heap, (time, cid))
+
+    def next_time(self) -> Optional[int]:
+        """Cycle of the earliest armed wake, or ``None``.
+
+        Persistent actives are due "now"; callers check
+        :attr:`has_active` before consulting this for a clock jump.
+        """
+        heap = self._heap
+        armed = self._armed
+        while heap:
+            time, cid = heap[0]
+            if armed.get(cid) == time:
+                return time
+            heapq.heappop(heap)  # stale entry superseded by re-arm
+        return None
+
+    # -- per-cycle harvest ----------------------------------------------
+
+    def due(self, clock: int) -> List[int]:
+        """Ids due to step at ``clock``, in ascending (legacy) order.
+
+        Timed wakes at or before ``clock`` are consumed; persistent
+        actives are included without being consumed.  The returned list
+        is a snapshot — callers may activate/deactivate while iterating
+        (mutations invalidate the memo for the *next* call, never the
+        list already handed out).
+        """
+        heap = self._heap
+        if heap and heap[0][0] <= clock:
+            armed = self._armed
+            due = set(self._active)
+            while heap and heap[0][0] <= clock:
+                time, cid = heapq.heappop(heap)
+                if armed.get(cid) == time:
+                    del armed[cid]
+                    due.add(cid)
+            return sorted(due)
+        cache = self._cache
+        if cache is None:
+            cache = self._cache = sorted(self._active)
+        return cache
