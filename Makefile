@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-default bench-smoke repro faults-smoke examples clean
+.PHONY: install test bench bench-default bench-smoke repro faults-smoke failover-smoke examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -27,6 +27,12 @@ faults-smoke:     ## 2-point fault campaign (VC + FIFO at 0.5% loss), CI-sized
 	$(PYTHON) -m repro.experiments.cli faults --profile quick \
 		--rates 0.005 --fresh \
 		--checkpoint mediaworm-faults-smoke.checkpoint.json
+
+failover-smoke:   ## adaptive vs static with 2 permanent failures, CI-sized
+	$(PYTHON) -m repro.experiments.cli failover --profile quick \
+		--severities 0,2 --fresh \
+		--checkpoint mediaworm-failover-smoke.checkpoint.json \
+		--json FAILOVER_smoke.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -44,6 +44,7 @@ from repro.faults import (
 )
 from repro.metrics import MetricsCollector, RunMetrics
 from repro.network import (
+    HealthConfig,
     Network,
     fat_mesh,
     fat_mesh_2x2,
@@ -55,6 +56,7 @@ from repro.router import (
     Message,
     QosPlacement,
     RouterConfig,
+    RoutingMode,
     TrafficClass,
 )
 from repro.sim import LinkSpec, RngStreams, WorkloadScale
@@ -83,6 +85,7 @@ __all__ = [
     "FaultConfigError",
     "FaultPlan",
     "FlowControlError",
+    "HealthConfig",
     "LinkDownWindow",
     "LinkSpec",
     "Message",
@@ -95,6 +98,7 @@ __all__ = [
     "RngStreams",
     "RouterConfig",
     "RoutingError",
+    "RoutingMode",
     "RunMetrics",
     "SchedulingPolicy",
     "SimulationError",

@@ -14,6 +14,14 @@ link) and admits a stream only if each stays at or below the jitter-safe
 threshold.  It also enforces the VC-capacity constraint of section 4.2.3
 (at most ``threshold / stream_fraction`` concurrent streams per link,
 since a VC's bandwidth must cover the sum of its streams' demands).
+
+**Degraded mode** (the failover extension): when the link-health
+monitor declares a channel's capacity lost, :meth:`degrade` recomputes
+the channel's budget against the surviving fraction and sheds admitted
+streams — VBR before CBR, mirroring the shed order best-effort → VBR →
+CBR (best-effort never holds reservations; the monitor pauses those
+sources directly) — until the survivors fit.  Shed streams are parked,
+and :meth:`recover` re-admits as many as the restored capacity allows.
 """
 
 from __future__ import annotations
@@ -53,9 +61,17 @@ class AdmissionController:
 
     threshold: float = DEFAULT_RT_THRESHOLD
     _reserved: Dict[ChannelId, float] = field(default_factory=dict)
-    _streams: Dict[int, Tuple[float, Tuple[ChannelId, ...]]] = field(
+    _streams: Dict[int, Tuple[float, Tuple[ChannelId, ...], str]] = field(
         default_factory=dict
     )
+    #: surviving capacity fraction per channel (absent = 1.0, healthy)
+    _capacity: Dict[ChannelId, float] = field(default_factory=dict)
+    #: streams shed by degrade(), parked for re-admission on recovery
+    _parked: Dict[int, Tuple[float, Tuple[ChannelId, ...], str]] = field(
+        default_factory=dict
+    )
+    streams_shed: int = 0
+    streams_readmitted: int = 0
 
     def __post_init__(self) -> None:
         if not 0 < self.threshold <= 1:
@@ -77,14 +93,23 @@ class AdmissionController:
             )
         for channel in path:
             after = self._reserved.get(channel, 0.0) + rate_fraction
-            if after > self.threshold + 1e-12:
+            limit = self.threshold * self._capacity.get(channel, 1.0)
+            if after > limit + 1e-12:
                 return AdmissionDecision(False, (channel, after))
         return AdmissionDecision(True)
 
     def admit(
-        self, stream_id: int, rate_fraction: float, path: Sequence[ChannelId]
+        self,
+        stream_id: int,
+        rate_fraction: float,
+        path: Sequence[ChannelId],
+        traffic_class: str = "cbr",
     ) -> AdmissionDecision:
-        """Admit a stream, reserving its rate on every path channel."""
+        """Admit a stream, reserving its rate on every path channel.
+
+        ``traffic_class`` orders degraded-mode shedding: VBR streams
+        are shed before CBR when capacity is lost.
+        """
         if stream_id in self._streams:
             raise AdmissionError(f"stream {stream_id} already admitted")
         decision = self.would_admit(rate_fraction, path)
@@ -94,13 +119,13 @@ class AdmissionController:
             self._reserved[channel] = (
                 self._reserved.get(channel, 0.0) + rate_fraction
             )
-        self._streams[stream_id] = (rate_fraction, tuple(path))
+        self._streams[stream_id] = (rate_fraction, tuple(path), traffic_class)
         return decision
 
     def release(self, stream_id: int) -> None:
         """Release a previously admitted stream's reservations."""
         try:
-            rate, path = self._streams.pop(stream_id)
+            rate, path, _ = self._streams.pop(stream_id)
         except KeyError:
             raise AdmissionError(f"stream {stream_id} was not admitted") from None
         for channel in path:
@@ -109,6 +134,80 @@ class AdmissionController:
                 self._reserved.pop(channel, None)
             else:
                 self._reserved[channel] = remaining
+
+    # -- degraded mode (failover) --------------------------------------
+
+    def degrade(self, channel: ChannelId, capacity: float) -> List[int]:
+        """Capacity on ``channel`` dropped to ``capacity`` (fraction).
+
+        Sheds admitted streams crossing the channel — VBR before CBR,
+        newest reservation first within a class — until the survivors
+        fit the reduced budget.  Returns the shed stream ids; they stay
+        parked for :meth:`recover`.
+        """
+        if not 0.0 <= capacity <= 1.0:
+            raise ConfigurationError(
+                f"channel capacity must be in [0, 1], got {capacity}"
+            )
+        self._capacity[channel] = capacity
+        limit = self.threshold * capacity
+        shed: List[int] = []
+        while self._reserved.get(channel, 0.0) > limit + 1e-12:
+            victim = self._pick_victim(channel)
+            if victim is None:
+                break
+            self._parked[victim] = self._streams[victim]
+            self.release(victim)
+            shed.append(victim)
+        self.streams_shed += len(shed)
+        return shed
+
+    def _pick_victim(self, channel: ChannelId) -> "int | None":
+        """Next stream to shed from ``channel``: VBR first, then CBR."""
+        victim = None
+        victim_key = None
+        for stream_id, (_, path, tclass) in self._streams.items():
+            if channel not in path:
+                continue
+            # (is_cbr, -id): all VBR before any CBR, newest-admitted
+            # first within a class so long-held guarantees survive.
+            key = (tclass == "cbr", -stream_id)
+            if victim_key is None or key < victim_key:
+                victim_key = key
+                victim = stream_id
+        return victim
+
+    def recover(self, channel: ChannelId) -> List[int]:
+        """``channel`` is healthy again: restore its full budget.
+
+        Re-admits parked streams that now fit (CBR first, then VBR, in
+        admission order); streams blocked by capacity still lost
+        elsewhere stay parked.  Returns the re-admitted stream ids.
+        """
+        self._capacity.pop(channel, None)
+        readmitted: List[int] = []
+        order = sorted(
+            self._parked,
+            key=lambda s: (self._parked[s][2] != "cbr", s),
+        )
+        for stream_id in order:
+            rate, path, tclass = self._parked[stream_id]
+            if self.would_admit(rate, path):
+                for chan in path:
+                    self._reserved[chan] = (
+                        self._reserved.get(chan, 0.0) + rate
+                    )
+                self._streams[stream_id] = (rate, path, tclass)
+                readmitted.append(stream_id)
+        for stream_id in readmitted:
+            del self._parked[stream_id]
+        self.streams_readmitted += len(readmitted)
+        return readmitted
+
+    @property
+    def shed_streams(self) -> List[int]:
+        """Ids of streams currently shed (degraded mode), sorted."""
+        return sorted(self._parked)
 
     @property
     def admitted_streams(self) -> List[int]:

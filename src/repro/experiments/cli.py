@@ -44,6 +44,7 @@ _DESCRIPTIONS = {
     "table2": "Best-effort latency per mix and load",
     "table3": "PCS connection drop accounting",
     "faults": "QoS degradation under link faults (fat mesh)",
+    "failover": "adaptive vs static routing under permanent link failures",
 }
 
 
@@ -171,6 +172,58 @@ def _run_faults(args, profile, executor) -> int:
     return 0
 
 
+def _run_failover(args, profile, executor) -> int:
+    """The ``mediaworm failover`` subcommand: adaptive vs static routing."""
+    from repro.experiments.failover import (
+        DEFAULT_SEVERITIES,
+        failover_campaign_to_text,
+        run_failover_campaign,
+    )
+
+    if args.severities:
+        try:
+            severities = tuple(int(s) for s in args.severities.split(","))
+        except ValueError:
+            raise SystemExit(
+                f"--severities must be comma-separated ints, got "
+                f"{args.severities!r}"
+            )
+        for severity in severities:
+            if severity < 0:
+                raise SystemExit(
+                    f"severities must be >= 0, got {severity}"
+                )
+    else:
+        severities = DEFAULT_SEVERITIES
+    path = (
+        args.checkpoint
+        or f"mediaworm-failover-{args.profile}.checkpoint.json"
+    )
+    checkpoint = SweepCheckpoint(
+        path,
+        meta={
+            "command": "failover",
+            "profile": args.profile,
+            "severities": list(severities),
+        },
+    )
+    if args.fresh:
+        checkpoint.clear()
+    started = time.perf_counter()
+    fig = run_failover_campaign(
+        profile,
+        severities,
+        checkpoint=checkpoint,
+        log=print,
+        executor=executor,
+    )
+    _maybe_save(args.json, fig)
+    print(failover_campaign_to_text(fig))
+    print(f"[failover completed in {time.perf_counter() - started:.1f}s]")
+    checkpoint.clear()
+    return 0
+
+
 def _add_sweep_args(parser) -> None:
     """Flags shared by every sweep-running subcommand."""
     parser.add_argument(
@@ -274,6 +327,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="discard any existing checkpoint and recompute everything",
     )
 
+    failover_parser = sub.add_parser(
+        "failover",
+        help="permanent-failure campaign (adaptive vs static routing)",
+    )
+    failover_parser.add_argument(
+        "--profile", choices=sorted(PROFILES), default="default"
+    )
+    _add_sweep_args(failover_parser)
+    failover_parser.add_argument(
+        "--severities",
+        metavar="S1,S2,...",
+        default=None,
+        help="comma-separated failed fat-pair counts (0..8 on the 2x2 mesh)",
+    )
+    failover_parser.add_argument(
+        "--json", metavar="PATH", default=None, help="also write JSON"
+    )
+    failover_parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="checkpoint file (default: mediaworm-failover-<profile>"
+        ".checkpoint.json)",
+    )
+    failover_parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="discard any existing checkpoint and recompute everything",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -296,6 +379,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "faults":
         return _run_faults(args, profile, executor)
+    if args.command == "failover":
+        return _run_failover(args, profile, executor)
 
     names = (
         [args.experiment]

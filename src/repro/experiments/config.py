@@ -18,7 +18,13 @@ from typing import Optional, Tuple
 from repro.core.schedulers import SchedulingPolicy
 from repro.errors import ConfigurationError
 from repro.faults import FaultPlan, RecoveryConfig
-from repro.router.config import CrossbarKind, QosPlacement, RouterConfig
+from repro.network.health import HealthConfig
+from repro.router.config import (
+    CrossbarKind,
+    QosPlacement,
+    RouterConfig,
+    RoutingMode,
+)
 from repro.router.flit import TrafficClass
 from repro.sim.units import LinkSpec, TimeBase, WorkloadScale
 from repro.traffic.mix import TrafficMix, WorkloadConfig, rt_vc_count
@@ -58,6 +64,13 @@ class _BaseExperiment:
     #: progress watchdog: raise DeadlockError after this many cycles
     #: without a flit delivery while flits are in flight (None = off)
     watchdog_window: Optional[int] = None
+    #: optional symptom-based link-health monitoring (failover studies);
+    #: None leaves zero-fault runs bit-identical to unmonitored ones
+    health: Optional[HealthConfig] = None
+    #: fault reaction of the routers: "oracle" (ground truth, the
+    #: historical behaviour), "static" (blind), or "adaptive"
+    #: (symptom-driven masking/detours via the health monitor)
+    routing_mode: str = RoutingMode.ORACLE
 
     def __post_init__(self) -> None:
         if self.warmup_frames < 1 or self.measure_frames < 1:
@@ -106,6 +119,7 @@ class _BaseExperiment:
             qos_placement=self.qos_placement,
             rt_vc_count=rt_vc_count(self.vcs_per_pc, self.traffic_mix),
             dynamic_partitioning=self.dynamic_partitioning,
+            routing_mode=self.routing_mode,
         )
 
     @property

@@ -1,0 +1,289 @@
+"""Failover campaign: delivered QoS under permanent link failures.
+
+The fault sweep (``mediaworm faults``) studies *transient* per-flit loss
+with an oracle-routed fabric.  This campaign asks the harder robustness
+question: when whole links die permanently mid-run, how much of the
+guaranteed traffic survives — and how much does symptom-driven adaptive
+routing (link-health monitoring + fault-aware detours + graceful QoS
+degradation) buy over a blind static router?
+
+Each point runs the 2x2 fat mesh with ``severity`` fat-link pairs
+suffering one permanent member failure at the end of warmup, the
+end-to-end recovery transport retransmitting, and the health monitor
+watching symptoms.  The two series are the routing modes:
+
+* ``adaptive`` — the monitor masks suspect links, reroutes within fat
+  groups, detours around dead groups, requeues stuck worms, and sheds
+  load (best-effort first) while capacity is degraded;
+* ``static`` — the same detection telemetry, but the routers keep
+  aiming at dead links; only timeout/retransmission limits the damage.
+
+Reported per point: delivered QoS fraction, QoS deadline misses, jitter
+(``d`` / ``sigma_d``), and the monitor's failover counters.  Points are
+checkpointed with fingerprinted keys (see
+:func:`~repro.experiments.parallel.sweep_fingerprint`), so resuming
+with changed failover knobs recomputes instead of serving stale points.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments.config import FatMeshExperiment
+from repro.experiments.faultsweep import (
+    _empty_metrics,
+    _point_from_dict,
+    _point_to_dict,
+)
+from repro.experiments.figures import (
+    FigureData,
+    Point,
+    _base_kwargs,
+    get_profile,
+)
+from repro.experiments.parallel import (
+    ParallelSweepExecutor,
+    SweepTask,
+    sweep_fingerprint,
+)
+from repro.experiments.resilience import SweepCheckpoint
+from repro.experiments.runner import simulate_fat_mesh
+from repro.faults import FaultPlan, LinkDownWindow, RecoveryConfig
+from repro.network.health import HealthConfig
+from repro.network.topology import fat_mesh
+from repro.router.config import RoutingMode
+
+#: failed fat pairs swept by ``mediaworm failover`` (the 2x2 fat mesh
+#: has 8 directed fat pairs, so 8 = one dead member in every group)
+DEFAULT_SEVERITIES = (0, 2, 4, 8)
+
+#: routing modes compared, one series each
+CAMPAIGN_MODES = (RoutingMode.ADAPTIVE, RoutingMode.STATIC)
+
+#: campaign operating point: the fat mesh at moderate load, 80:20 mix
+CAMPAIGN_LOAD = 0.6
+CAMPAIGN_MIX = (80, 20)
+
+
+def _fat_pair_windows(
+    experiment: FatMeshExperiment, severity: int, onset: int
+) -> tuple:
+    """Permanent down-windows killing one member of ``severity`` fat pairs.
+
+    Channels are grouped by directed ``(src_router, dst_router)`` pair;
+    the lowest-port member of each of the first ``severity`` pairs (in
+    sorted pair order, for determinism) dies at ``onset`` and never
+    recovers.  Every group keeps at least one healthy sibling, so the
+    fabric stays connected and adaptive routing has somewhere to go.
+    """
+    topology = fat_mesh(
+        rows=experiment.rows,
+        cols=experiment.cols,
+        hosts_per_router=experiment.hosts_per_router,
+        fat_width=experiment.fat_width,
+    )
+    groups: Dict[tuple, List[tuple]] = {}
+    for src, sp, dst, dp in topology.channels:
+        groups.setdefault((src, dst), []).append((src, sp, dst, dp))
+    if severity > len(groups):
+        raise ConfigurationError(
+            f"severity {severity} exceeds the {len(groups)} fat pairs "
+            f"of the {experiment.rows}x{experiment.cols} mesh"
+        )
+    windows = []
+    for pair in sorted(groups)[:severity]:
+        src, sp, dst, dp = sorted(groups[pair])[0]
+        windows.append(
+            LinkDownWindow(
+                link=f"ch:{src}.{sp}->{dst}.{dp}", start=onset, end=None
+            )
+        )
+    return tuple(windows)
+
+
+def _campaign_experiment(
+    profile, mode: str, severity: int
+) -> FatMeshExperiment:
+    """One campaign point: fat mesh + permanent failures + failover stack."""
+    base = FatMeshExperiment(
+        load=CAMPAIGN_LOAD,
+        mix=CAMPAIGN_MIX,
+        vcs_per_pc=16,
+        **_base_kwargs(profile),
+    )
+    interval = base.workload_config().frame_interval_cycles
+    # Failures land at the end of warmup, so detection and failover are
+    # entirely inside the measurement window and time-to-recovery is
+    # comparable across profiles.
+    onset = base.warmup_cycles
+    # Transport clocks scale as in the fault sweep; the QoS deadline
+    # gives each guaranteed message two frame intervals door-to-door,
+    # enough for a couple of retransmissions but strict enough that
+    # static routing's head-of-line stalls register as misses.
+    timeout = max(512, interval // 2)
+    recovery = RecoveryConfig(
+        timeout=timeout,
+        max_retries=8,
+        backoff_base=max(16, interval // 256),
+        backoff_cap=max(64, interval // 16),
+        qos_deadline=2 * interval,
+    )
+    return dataclasses.replace(
+        base,
+        faults=FaultPlan(down_windows=_fat_pair_windows(base, severity, onset)),
+        recovery=recovery,
+        health=HealthConfig(),
+        routing_mode=mode,
+        # permanent failures stall progress longer than transient loss;
+        # give the watchdog four intervals unless the profile overrides
+        watchdog_window=profile.watchdog_window or 4 * interval,
+    )
+
+
+def _campaign_point(experiment: FatMeshExperiment) -> Point:
+    """Worker body: run one point, reduced to its figure Point.
+
+    Module-level (picklable) so the parallel executor can farm points
+    out; ``x`` is the severity (number of failed fat-pair members).
+    """
+    result = simulate_fat_mesh(experiment)
+    return Point(
+        len(experiment.faults.down_windows),
+        result.metrics,
+        extra=result.fault_stats or {},
+    )
+
+
+def _point_key(mode: str, severity: int, experiment) -> str:
+    """Fingerprinted checkpoint/result key for one point.
+
+    Unlike the fault sweep, failover points always carry non-default
+    knobs (routing mode, health config, deadline), so the fingerprint
+    is always present — a checkpoint resumed after any knob change
+    recomputes rather than reusing stale points.
+    """
+    return f"{mode}@{severity}|{sweep_fingerprint(experiment)}"
+
+
+def run_failover_campaign(
+    profile="default",
+    severities: Optional[Sequence[int]] = None,
+    checkpoint: Optional[SweepCheckpoint] = None,
+    log=None,
+    executor: Optional[ParallelSweepExecutor] = None,
+) -> FigureData:
+    """Sweep permanent-failure severity for adaptive vs static routing.
+
+    Semantics mirror :func:`~repro.experiments.faultsweep
+    .run_fault_campaign`: completed points persist to the checkpoint
+    and are skipped on rerun, a point that fails every resilient retry
+    records a ``failed`` extra instead of aborting, and an executor
+    with ``jobs > 1`` runs points in a process pool bit-identically to
+    the serial path.
+    """
+    profile = get_profile(profile)
+    severities = (
+        DEFAULT_SEVERITIES if severities is None else tuple(severities)
+    )
+    if executor is None:
+        executor = ParallelSweepExecutor(jobs=1, log=log)
+    experiments = {
+        (mode, severity): _campaign_experiment(profile, mode, severity)
+        for mode in CAMPAIGN_MODES
+        for severity in severities
+    }
+    keys = {
+        point: _point_key(point[0], point[1], experiment)
+        for point, experiment in experiments.items()
+    }
+    tasks = [
+        SweepTask(
+            key=keys[(mode, severity)],
+            runner=_campaign_point,
+            experiment=experiments[(mode, severity)],
+        )
+        for mode in CAMPAIGN_MODES
+        for severity in severities
+    ]
+    if checkpoint is not None and log is not None:
+        for task in tasks:
+            if task.key in checkpoint:
+                log(f"[failover] {task.key}: restored from checkpoint")
+
+    failed: Dict[str, Point] = {}
+
+    def on_failure(task: SweepTask, exc: SimulationError) -> None:
+        point = Point(
+            len(task.experiment.faults.down_windows),
+            _empty_metrics(),
+            extra={"failed": f"{type(exc).__name__}: {exc}"},
+        )
+        failed[task.key] = point
+        if checkpoint is not None:
+            checkpoint.put(task.key, _point_to_dict(point))
+        if log is not None:
+            log(f"[failover] {task.key}: FAILED ({type(exc).__name__})")
+
+    results = executor.run(
+        tasks,
+        checkpoint=checkpoint,
+        encode=_point_to_dict,
+        decode=_point_from_dict,
+        on_failure=on_failure,
+    )
+    series: Dict[str, List[Point]] = {
+        mode: [
+            results.get(keys[(mode, severity)])
+            or failed[keys[(mode, severity)]]
+            for severity in severities
+        ]
+        for mode in CAMPAIGN_MODES
+    }
+    return FigureData(
+        figure_id="failover",
+        title=(
+            "QoS failover under permanent link failures "
+            "(2x2 fat mesh, 80:20 mix, load 0.6)"
+        ),
+        xlabel="failed fat-pair members",
+        series=series,
+        notes="one permanent member failure per fat pair at end of "
+        "warmup; health monitoring on in both modes, failover actions "
+        "only in adaptive",
+    )
+
+
+def failover_campaign_to_text(fig: FigureData) -> str:
+    """Render the campaign as an aligned terminal table."""
+    header = (
+        f"{'routing':<9} {'failed':>6} {'qos frac':>9} {'misses':>7} "
+        f"{'d (ms)':>8} {'sigma_d':>8} {'reroute':>8} {'detour':>7} "
+        f"{'requeue':>8} {'shed':>5} {'abandoned':>9}"
+    )
+    lines = [fig.title, header, "-" * len(header)]
+    for name, points in fig.series.items():
+        for point in points:
+            extra = point.extra
+            if "failed" in extra:
+                lines.append(
+                    f"{name:<9} {point.x:>6} "
+                    f"{'FAILED: ' + str(extra['failed'])}"
+                )
+                continue
+            health = extra.get("health") or {}
+            lines.append(
+                f"{name:<9} {point.x:>6} "
+                f"{extra.get('qos_delivered_fraction', 1.0):>9.4f} "
+                f"{extra.get('qos_deadline_misses', 0):>7} "
+                f"{point.d:>8.3f} {point.sigma_d:>8.3f} "
+                f"{health.get('reroutes', 0):>8} "
+                f"{health.get('detours', 0):>7} "
+                f"{health.get('worms_requeued', 0):>8} "
+                f"{health.get('streams_shed', 0):>5} "
+                f"{extra.get('qos_abandoned', 0):>9}"
+            )
+    if fig.notes:
+        lines.append(f"({fig.notes})")
+    return "\n".join(lines)

@@ -27,7 +27,11 @@ from repro.experiments.figures import (
     _base_kwargs,
     get_profile,
 )
-from repro.experiments.parallel import ParallelSweepExecutor, SweepTask
+from repro.experiments.parallel import (
+    ParallelSweepExecutor,
+    SweepTask,
+    sweep_fingerprint,
+)
 from repro.experiments.resilience import SweepCheckpoint
 from repro.experiments.runner import simulate_fat_mesh
 from repro.faults import FaultPlan, RecoveryConfig
@@ -89,8 +93,17 @@ def _campaign_point(experiment: FatMeshExperiment) -> Point:
     )
 
 
-def _point_key(policy: str, rate: float) -> str:
-    return f"{policy}@{rate:g}"
+def _point_key(policy: str, rate: float, experiment=None) -> str:
+    """Checkpoint/result key for one point.
+
+    The fingerprint suffix is empty for the campaign's default knobs,
+    so checkpoints written before routing modes and health monitoring
+    existed keep restoring; non-default knobs change the key and force
+    a recompute.
+    """
+    key = f"{policy}@{rate:g}"
+    fingerprint = sweep_fingerprint(experiment) if experiment is not None else ""
+    return f"{key}|{fingerprint}" if fingerprint else key
 
 
 def _empty_metrics() -> RunMetrics:
@@ -144,11 +157,20 @@ def run_fault_campaign(
     if executor is None:
         executor = ParallelSweepExecutor(jobs=1, log=log)
     policies = (SchedulingPolicy.VIRTUAL_CLOCK, SchedulingPolicy.FIFO)
+    experiments = {
+        (policy, rate): _campaign_experiment(profile, policy, rate)
+        for policy in policies
+        for rate in rates
+    }
+    keys = {
+        (policy, rate): _point_key(policy, rate, experiment)
+        for (policy, rate), experiment in experiments.items()
+    }
     tasks = [
         SweepTask(
-            key=_point_key(policy, rate),
+            key=keys[(policy, rate)],
             runner=_campaign_point,
-            experiment=_campaign_experiment(profile, policy, rate),
+            experiment=experiments[(policy, rate)],
         )
         for policy in policies
         for rate in rates
@@ -182,8 +204,7 @@ def run_fault_campaign(
     )
     series: Dict[str, List[Point]] = {
         policy: [
-            results.get(_point_key(policy, rate))
-            or failed[_point_key(policy, rate)]
+            results.get(keys[(policy, rate)]) or failed[keys[(policy, rate)]]
             for rate in rates
         ]
         for policy in policies

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, is_dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError, SimulationError
@@ -42,6 +42,36 @@ from repro.experiments.resilience import RESEED_STEP, SweepCheckpoint, run_resil
 #: crash (a prime distinct from RESEED_STEP, so a crash-reseed can never
 #: collide with an in-worker retry reseed of a neighbouring point)
 CRASH_RESEED_STEP = 7919
+
+
+def sweep_fingerprint(experiment) -> str:
+    """Checkpoint-key suffix for the failover-era experiment knobs.
+
+    Sweep-point keys written before these knobs existed must keep
+    restoring from old checkpoints, so the fingerprint is empty at the
+    default settings and otherwise encodes every knob that changes a
+    point's physics — the routing mode, the health-monitor
+    configuration, and the QoS deadline.  Appending it to point keys
+    means resuming a checkpointed campaign with changed flags
+    recomputes the points instead of serving stale cached ones.
+    """
+    parts = []
+    mode = getattr(experiment, "routing_mode", "oracle")
+    if mode != "oracle":
+        parts.append(f"mode={mode}")
+    health = getattr(experiment, "health", None)
+    if health is not None and is_dataclass(health):
+        knobs = ",".join(
+            f"{name}={value}"
+            for name, value in sorted(asdict(health).items())
+        )
+        parts.append(f"health[{knobs}]")
+    deadline = getattr(
+        getattr(experiment, "recovery", None), "qos_deadline", None
+    )
+    if deadline is not None:
+        parts.append(f"deadline={deadline}")
+    return "|".join(parts)
 
 
 @dataclass(frozen=True)

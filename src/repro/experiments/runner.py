@@ -12,8 +12,10 @@ import time
 from dataclasses import asdict, dataclass, replace as dataclasses_replace
 from typing import Dict, Optional
 
+from repro.core.admission import AdmissionController
 from repro.faults import install_faults, install_recovery
 from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.network.health import install_health
 from repro.network.network import Network
 from repro.network.topology import fat_mesh, fat_tree, single_switch
 from repro.pcs.connection import ConnectionStats
@@ -122,11 +124,57 @@ def _install_extras(experiment, network: Network, rngs: RngStreams) -> None:
     recovery = getattr(experiment, "recovery", None)
     if recovery is not None:
         install_recovery(network, recovery)
+    health = getattr(experiment, "health", None)
+    if health is not None:
+        install_health(network, health, rngs)
+
+
+def _mirror_admission(network: Network, workload) -> AdmissionController:
+    """Mirror the workload's implicit reservations into a controller.
+
+    The runner's workloads are sized by construction (``load`` knob)
+    rather than gated stream-by-stream, so this controller is a
+    *mirror* for degraded-mode accounting, not a gatekeeper: threshold
+    1.0 admits everything the workload offers.  Each stream reserves
+    its rate on its host channels and, conservatively, on every
+    physical link of each fat group its dimension-order path crosses —
+    so the health monitor's ``degrade`` on a dead link sheds exactly
+    the streams whose guarantee that link backed.
+    """
+    controller = AdmissionController(threshold=1.0)
+    fraction = workload.config.stream_fraction
+    routing = network.topology.routing
+    host_rid = {node: rid for node, rid, _ in network.topology.hosts}
+    channel_dst = {
+        (r, p): dr for r, p, dr, _ in network.topology.channels
+    }
+    max_hops = len(network.routers) + 1
+    for stream in workload.streams:
+        cfg = stream.config
+        path = [("host-in", cfg.src_node, 0)]
+        rid = host_rid[cfg.src_node]
+        dst_rid = host_rid[cfg.dst_node]
+        hops = 0
+        while rid != dst_rid and hops < max_hops:
+            hops += 1
+            group = routing.candidates(rid, cfg.dst_node)
+            for port in group:
+                path.append(("link", rid, port))
+            rid = channel_dst[(rid, group[0])]
+        path.append(("host-out", cfg.dst_node, 0))
+        controller.admit(
+            stream.stream_id, fraction, path, cfg.traffic_class
+        )
+    return controller
 
 
 def _fault_stats(network: Network) -> Optional[Dict[str, object]]:
     """Summarise fault/recovery accounting, or ``None`` when unused."""
-    if network.fault_injector is None and network.transport is None:
+    if (
+        network.fault_injector is None
+        and network.transport is None
+        and network.health_monitor is None
+    ):
         return None
     stats: Dict[str, object] = {
         "flits_lost": network.flits_lost,
@@ -138,6 +186,9 @@ def _fault_stats(network: Network) -> Optional[Dict[str, object]]:
         transport = network.transport.stats
         stats.update(asdict(transport))
         stats["delivered_fraction"] = transport.delivered_fraction
+        stats["qos_delivered_fraction"] = transport.qos_delivered_fraction
+    if network.health_monitor is not None:
+        stats["health"] = network.health_monitor.summary()
     return stats
 
 
@@ -156,6 +207,12 @@ def _simulate_wormhole(experiment, topology) -> ExperimentResult:
     rngs = RngStreams(experiment.seed)
     _install_extras(experiment, network, rngs)
     workload = build_workload(network, experiment.workload_config(), rngs)
+    monitor = network.health_monitor
+    if monitor is not None:
+        collector.attach_health(monitor)
+        if monitor.config.shed_best_effort:
+            monitor.bind_besteffort(workload.besteffort)
+        monitor.bind_admission(_mirror_admission(network, workload))
     wall = _run_network(experiment, network, collector)
     return ExperimentResult(
         experiment=experiment,

@@ -266,10 +266,22 @@ def install_faults(
 
     Every link whose label matches the plan's probabilistic pattern or
     a down window gets a :class:`LinkFaultState` (with its own
-    ``faults/<label>`` RNG substream); routers with failed output ports
-    learn to route around them.  Raises :class:`FaultConfigError` for
-    windows that match no link or port failures that name unknown
-    hardware.  Returns the installed :class:`FaultInjector`.
+    ``faults/<label>`` RNG substream).  How routers react to failures
+    depends on ``RouterConfig.routing_mode``: in ``oracle`` mode (the
+    default) the fat-link selector consults the ground-truth fault
+    state and dodges failed ports instantly; in ``adaptive`` mode the
+    link-health monitor (:mod:`repro.network.health`) infers failures
+    from symptoms and reroutes — including detours when a whole fat
+    group dies; in ``static`` mode routing ignores faults entirely and
+    end-to-end recovery owns every loss.
+
+    Raises :class:`FaultConfigError` for windows that match no link,
+    port failures that name unknown hardware, or a plan whose
+    *permanent* failures isolate a host no routing mode could ever
+    reach again (a dead host attachment link, or a router left with no
+    surviving route and no detour — e.g. any permanent failure on
+    ``single_switch`` host ports or a thin non-redundant mesh).
+    Returns the installed :class:`FaultInjector`.
     """
     injector = FaultInjector(network, plan)
 
@@ -326,8 +338,81 @@ def install_faults(
         link.faults = state
         injector.states[label] = state
 
+    _check_host_isolation(network, injector)
     network.fault_injector = injector
     return injector
+
+
+def _check_host_isolation(network, injector: FaultInjector) -> None:
+    """Reject fault plans that cut a host off for good.
+
+    Only *permanent* failures (windows with no end) count: a host's
+    attachment links have no alternative by construction, and a router
+    whose every surviving route toward some host is dead — including
+    the topology's detour options — would hang traffic until the
+    watchdog fires.  Failing fast with a :class:`FaultConfigError`
+    turns that silent hang into a configuration-time diagnosis.
+    """
+    dead_labels = {
+        label
+        for label, state in injector.states.items()
+        if any(w.end is None for w in state.windows)
+    }
+    if not dead_labels:
+        return
+    dead_ports = {
+        (link.src_router.router_id, link.src_port)
+        for link in network.links
+        if link.label in dead_labels and link.src_router is not None
+    }
+    for node, _, _ in network.topology.hosts:
+        for half in ("inject", "eject"):
+            label = f"host{node}:{half}"
+            if label in dead_labels:
+                raise FaultConfigError(
+                    f"fault plan permanently fails {label}; host {node} "
+                    f"has a single attachment link, no reroute is possible"
+                )
+    routing = network.topology.routing
+    alt_table = getattr(routing, "_alt_table", {})
+    detour_map = getattr(routing, "_detours", {})
+    channel_dst = {
+        (r, p): dr for r, p, dr, _ in network.topology.channels
+    }
+    num_routers = len(network.routers)
+    for node, dst_rid, _ in network.topology.hosts:
+        for start in range(num_routers):
+            rid, flavor, steps = start, None, 0
+            while rid != dst_rid:
+                steps += 1
+                if steps > 4 * num_routers:
+                    break  # walk is cyclic; reachable, just detouring
+                ports = (
+                    alt_table.get((rid, node)) if flavor == "yx" else None
+                )
+                if ports is None:
+                    ports = routing.candidates(rid, node)
+                open_ports = [
+                    p for p in ports if (rid, p) not in dead_ports
+                ]
+                if not open_ports:
+                    for group, detour_flavor in detour_map.get(
+                        (rid, node), ()
+                    ):
+                        survivors = [
+                            p for p in group if (rid, p) not in dead_ports
+                        ]
+                        if survivors:
+                            open_ports = survivors
+                            flavor = detour_flavor
+                            break
+                if not open_ports:
+                    raise FaultConfigError(
+                        f"fault plan isolates host {node}: router {rid} "
+                        f"has no surviving route toward it and the "
+                        f"topology offers no detour"
+                    )
+                rid = channel_dst[(rid, open_ports[0])]
 
 
 # ----------------------------------------------------------------------
@@ -359,11 +444,19 @@ class RecoveryConfig:
     backoff_base: int = 64
     backoff_cap: int = 2048
     checksum: bool = True
+    #: end-to-end delivery deadline in cycles for QoS (CBR/VBR)
+    #: messages, measured from the *first* attempt's injection across
+    #: the whole retry chain; None disables deadline accounting
+    qos_deadline: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.timeout < 1:
             raise FaultConfigError(
                 f"timeout must be >= 1 cycle, got {self.timeout}"
+            )
+        if self.qos_deadline is not None and self.qos_deadline < 1:
+            raise FaultConfigError(
+                f"qos_deadline must be >= 1 cycle, got {self.qos_deadline}"
             )
         if self.max_retries < 0:
             raise FaultConfigError(
@@ -388,6 +481,21 @@ class TransportStats:
     loss_kills: int = 0
     retransmissions: int = 0
     abandoned: int = 0
+    #: per-class splits of delivered/abandoned (QoS = CBR + VBR)
+    qos_delivered: int = 0
+    qos_abandoned: int = 0
+    be_delivered: int = 0
+    be_abandoned: int = 0
+    #: QoS deliveries that blew ``RecoveryConfig.qos_deadline``
+    qos_deadline_misses: int = 0
+
+    @property
+    def qos_delivered_fraction(self) -> float:
+        """Cleanly delivered fraction of resolved QoS (CBR/VBR) messages."""
+        resolved = self.qos_delivered + self.qos_abandoned
+        if resolved == 0:
+            return 1.0
+        return self.qos_delivered / resolved
 
     @property
     def delivered_fraction(self) -> float:
@@ -426,6 +534,10 @@ class EndToEndTransport:
         self.stats = TransportStats()
         #: msg_id -> completed retransmission count for live attempts
         self._attempt: Dict[int, int] = {}
+        #: msg_id -> injection cycle of the *first* attempt; transferred
+        #: across the retry chain (clones reset their own timestamps)
+        #: so QoS deadline accounting spans the whole recovery effort
+        self._birth: Dict[int, int] = {}
 
     # -- network hooks --------------------------------------------------
 
@@ -434,6 +546,8 @@ class EndToEndTransport:
         if msg.msg_id not in self._attempt:
             self._attempt[msg.msg_id] = 0
             self.stats.originals += 1
+        if msg.msg_id not in self._birth:
+            self._birth[msg.msg_id] = self.network.clock
 
     def on_start(self, msg, clock: int) -> None:
         """Header flit left the NI: arm the delivery timeout.
@@ -452,8 +566,22 @@ class EndToEndTransport:
 
     def on_delivered(self, msg) -> None:
         """A tracked message delivered cleanly."""
-        if self._attempt.pop(msg.msg_id, None) is not None:
-            self.stats.delivered += 1
+        if self._attempt.pop(msg.msg_id, None) is None:
+            return
+        stats = self.stats
+        stats.delivered += 1
+        birth = self._birth.pop(msg.msg_id, None)
+        if msg.is_real_time:
+            stats.qos_delivered += 1
+            deadline = self.config.qos_deadline
+            if (
+                deadline is not None
+                and birth is not None
+                and msg.deliver_time - birth > deadline
+            ):
+                stats.qos_deadline_misses += 1
+        else:
+            stats.be_delivered += 1
 
     def on_corrupt(self, msg, clock: int) -> None:
         """Sink checksum failure: retransmit without a purge."""
@@ -492,11 +620,18 @@ class EndToEndTransport:
 
     def _retry(self, msg) -> None:
         retries = self._attempt.pop(msg.msg_id, 0)
+        birth = self._birth.pop(msg.msg_id, None)
         if retries >= self.config.max_retries:
             self.stats.abandoned += 1
+            if msg.is_real_time:
+                self.stats.qos_abandoned += 1
+            else:
+                self.stats.be_abandoned += 1
             return
         clone = msg.clone()
         self._attempt[clone.msg_id] = retries + 1
+        if birth is not None:
+            self._birth[clone.msg_id] = birth
         self.stats.retransmissions += 1
         delay = min(
             self.config.backoff_base << retries, self.config.backoff_cap

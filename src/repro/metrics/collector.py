@@ -26,6 +26,11 @@ class MetricsCollector:
         self.warmup = warmup
         self.delivery = FrameDeliveryTracker(warmup=warmup)
         self.latency = LatencyTracker(warmup=warmup)
+        self._health_monitor = None
+
+    def attach_health(self, monitor) -> None:
+        """Fold a LinkHealthMonitor's counters into snapshots."""
+        self._health_monitor = monitor
 
     def on_message(self, msg: Message, clock: int) -> None:
         """Network delivery callback."""
@@ -38,6 +43,22 @@ class MetricsCollector:
         """Freeze the current statistics into a result record."""
         tb = self.timebase
         raw_us = tb.link.cycles_to_us  # no workload unscaling (see below)
+        health = {}
+        if self._health_monitor is not None:
+            summary = self._health_monitor.summary()
+            health = dict(
+                link_downs=summary["link_downs"],
+                link_flaps=summary["link_flaps"],
+                link_recoveries=summary["link_recoveries"],
+                mean_time_to_recovery_cycles=summary[
+                    "mean_time_to_recovery_cycles"
+                ],
+                reroutes=summary["reroutes"],
+                detours=summary["detours"],
+                worms_requeued=summary["worms_requeued"],
+                streams_shed=summary["streams_shed"],
+                be_messages_shed=summary["be_messages_shed"],
+            )
         return RunMetrics(
             mean_delivery_interval_ms=tb.report_ms(self.delivery.mean_interval),
             std_delivery_interval_ms=tb.report_ms(self.delivery.std_interval),
@@ -49,6 +70,7 @@ class MetricsCollector:
             ),
             be_latency_std_us=raw_us(self.latency.std_latency),
             be_message_count=self.latency.count,
+            **health,
         )
 
 
@@ -74,6 +96,17 @@ class RunMetrics:
     be_latency_us_paper_equivalent: float
     be_latency_std_us: float
     be_message_count: int
+    # Failover counters (defaulted so checkpoints written before the
+    # health monitor existed still decode via RunMetrics(**saved)).
+    link_downs: int = 0
+    link_flaps: int = 0
+    link_recoveries: int = 0
+    mean_time_to_recovery_cycles: float = 0.0
+    reroutes: int = 0
+    detours: int = 0
+    worms_requeued: int = 0
+    streams_shed: int = 0
+    be_messages_shed: int = 0
 
     @property
     def d(self) -> float:

@@ -5,6 +5,11 @@ single switch with one host per port, or the paper's 2x2 fat mesh — and
 runs the cycle loop that moves flits between them.
 """
 
+from repro.network.health import (
+    HealthConfig,
+    LinkHealthMonitor,
+    install_health,
+)
 from repro.network.interface import HostInterface, HostSink
 from repro.network.link import Link
 from repro.network.network import Network
@@ -18,9 +23,11 @@ from repro.network.topology import (
 )
 
 __all__ = [
+    "HealthConfig",
     "HostInterface",
     "HostSink",
     "Link",
+    "LinkHealthMonitor",
     "LinkUtilization",
     "Network",
     "Topology",

@@ -37,6 +37,9 @@ class Link:
         "pending",
         "label",
         "faults",
+        "health",
+        "src_router",
+        "src_port",
         "on_wake",
     )
 
@@ -62,6 +65,12 @@ class Link:
         self.label = label
         #: optional LinkFaultState installed by repro.faults
         self.faults = None
+        #: optional LinkHealth record installed by repro.network.health
+        self.health = None
+        #: sending router + output port (wired by the network; None for
+        #: host-injection links, whose sender is an NI)
+        self.src_router = None
+        self.src_port = -1
         #: in-flight flits: (arrival_cycle, msg, flit_index, vc_index)
         self.pending: Deque[Tuple[int, Message, int, int]] = deque()
         #: activation hook ``on_wake(arrival_cycle)`` installed by the
@@ -98,6 +107,10 @@ class Link:
                 _, msg, flit_index, vc_index = pending.popleft()
                 sink.eject(clock, msg, flit_index)
                 delivered += 1
+        if delivered and self.health is not None:
+            # Delivery heartbeat: a no-op while the link is UP, streak
+            # progress while it is SUSPECT or on PROBATION.
+            self.health.on_ok(clock, delivered)
         return delivered
 
     def _deliver_due_faulty(self, clock: int) -> int:
@@ -111,6 +124,7 @@ class Link:
         from repro.faults import FATE_CORRUPT, FATE_LOST
 
         faults = self.faults
+        health = self.health
         delivered = 0
         pending = self.pending
         router = self.dest_router
@@ -126,10 +140,13 @@ class Link:
                     if sender is not None:
                         sender.credits += 1
                 faults.account_lost()
-                # The teardown below may purge this link and rebuild
-                # self.pending; re-fetch so we keep draining the live
-                # deque, not the pre-purge snapshot.
+                # The teardowns below (loss recovery, and a health
+                # transition's kill-and-requeue) may purge this link and
+                # rebuild self.pending; re-fetch so we keep draining the
+                # live deque, not the pre-purge snapshot.
                 faults.report_loss(msg)
+                if health is not None:
+                    health.on_miss(clock)
                 pending = self.pending
                 continue
             if fate == FATE_CORRUPT:
@@ -142,6 +159,12 @@ class Link:
             else:
                 self.sink.eject(clock, msg, flit_index)
             delivered += 1
+            if health is not None:
+                if fate == FATE_CORRUPT:
+                    health.on_corrupt(clock)
+                    pending = self.pending
+                else:
+                    health.on_ok(clock)
         return delivered
 
     def is_available(self, clock: int) -> bool:

@@ -85,6 +85,8 @@ class Network:
         self.fault_injector = None
         #: EndToEndTransport installed by repro.faults.install_recovery
         self.transport = None
+        #: LinkHealthMonitor installed by repro.network.health
+        self.health_monitor = None
         self._on_message = on_message
 
         self.routers: List[WormholeRouter] = [
@@ -154,6 +156,8 @@ class Network:
                 on_flit=self._flit_ejected,
             )
             out_link = Link(sink=sink, latency=latency, label=f"host{node}:eject")
+            out_link.src_router = router
+            out_link.src_port = port
             router.wire_output(port, out_link, host=True)
             # Host ports have no downstream router buffer; the sink
             # consumes at link rate, so output VCs are never credit
@@ -173,6 +177,8 @@ class Network:
                 latency=latency,
                 label=f"ch:{src_r}.{src_p}->{dst_r}.{dst_p}",
             )
+            link.src_router = src
+            link.src_port = src_p
             src.wire_output(src_p, link, host=False)
             for vc_index in range(self.config.vcs_per_pc):
                 ovc = src.outputs[src_p][vc_index]
@@ -305,6 +311,55 @@ class Network:
             self.clock + self.preemption_backoff,
             lambda m=clone: self.inject_now(m),
         )
+
+    def requeue_stuck_worms(self, router, port: int, link=None) -> int:
+        """Kill-and-requeue every worm wedged on a newly masked port.
+
+        Called by the health monitor when adaptive routing marks
+        ``router``'s output ``port`` down.  Worms already granted the
+        port (output-VC owners, flits on the dead wire) would otherwise
+        block their input VCs until the watchdog fires; killing them
+        frees the buffers and the retransmission path redelivers the
+        clone over a healthy route.  Headers that were routed to the
+        port but not yet granted are simply re-routed: clearing
+        ``route_port`` makes the next arbitration pass consult the
+        (now masked) routing function again.
+        """
+        victims: "list[Message]" = []
+        seen: "set[int]" = set()
+        for ovc in router.outputs[port]:
+            owner = ovc.owner
+            if owner is not None and owner.msg_id not in seen:
+                seen.add(owner.msg_id)
+                victims.append(owner)
+        if link is not None:
+            for entry in link.pending:
+                msg = entry[1]
+                if msg.msg_id not in seen:
+                    seen.add(msg.msg_id)
+                    victims.append(msg)
+        for vcs in router.inputs:
+            for vc in vcs:
+                if vc.route_port == port and vc.route_vc is None:
+                    vc.route_port = -1
+                    if vc.msg is not None:
+                        vc.msg.detoured = None
+        requeued = 0
+        for msg in victims:
+            if msg.killed or msg.deliver_time >= 0:
+                continue
+            if self.transport is not None:
+                # End-to-end recovery owns the retry budget and stats.
+                self.transport.on_loss(msg)
+            else:
+                self.kill_message(msg)
+                clone = msg.clone()
+                self.events.schedule(
+                    self.clock + self.preemption_backoff,
+                    lambda m=clone: self.inject_now(m),
+                )
+            requeued += 1
+        return requeued
 
     # ------------------------------------------------------------------
     # bookkeeping callbacks
@@ -607,6 +662,12 @@ class Network:
         down = self.faults_active
         if down:
             lines.append(f"links down: {', '.join(sorted(down))}")
+        if self.health_monitor is not None:
+            suspected = self.health_monitor.suspected()
+            if suspected:
+                lines.append(
+                    "suspected unhealthy links: " + ", ".join(suspected)
+                )
         if len(lines) > max_lines:
             extra = len(lines) - max_lines
             lines = lines[:max_lines] + [f"... {extra} more lines elided"]

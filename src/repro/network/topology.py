@@ -20,6 +20,8 @@ from typing import Dict, List, Tuple
 
 from repro.errors import ConfigurationError
 from repro.router.routing import (
+    FLAVOR_XY,
+    FLAVOR_YX,
     FatMeshRouting,
     RoutingFunction,
     SingleSwitchRouting,
@@ -165,13 +167,22 @@ def fat_mesh(
         for src_p, dst_p in zip(group, back):
             channels.append((router, src_p, neighbour, dst_p))
 
-    # Dimension-order routing table: X first, then Y.
+    # Dimension-order routing tables.  The primary is X-then-Y; the
+    # alternate (Y-then-X) is ridden by messages carrying the "yx"
+    # detour flavour.  ``detours`` lists, per (router, destination),
+    # the perpendicular escape hops adaptive routing may take when the
+    # primary fat group is entirely masked: a hop in Y resumes
+    # X-then-Y downstream ("xy"), a hop in X switches the worm to
+    # Y-then-X ("yx") so it cannot ping-pong back into the dead group.
     table: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+    alt_table: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+    detours: Dict[Tuple[int, int], Tuple] = {}
     for router in range(num_routers):
         x, y = router % cols, router // cols
         for node, dst_router in host_router.items():
             if dst_router == router:
                 table[(router, node)] = (host_port[node],)
+                alt_table[(router, node)] = (host_port[node],)
                 continue
             dst_x, dst_y = dst_router % cols, dst_router // cols
             if dst_x > x:
@@ -183,6 +194,36 @@ def fat_mesh(
             else:
                 step = (0, -1)
             table[(router, node)] = directions[(router, step[0], step[1])]
+            if dst_y > y:
+                alt_step = (0, 1)
+            elif dst_y < y:
+                alt_step = (0, -1)
+            elif dst_x > x:
+                alt_step = (1, 0)
+            else:
+                alt_step = (-1, 0)
+            alt_table[(router, node)] = directions[
+                (router, alt_step[0], alt_step[1])
+            ]
+            if step[0] != 0:  # X step blocked -> escape in Y
+                flavor = FLAVOR_XY
+                if dst_y < y:
+                    prefs = ((0, -1), (0, 1))
+                else:
+                    prefs = ((0, 1), (0, -1))
+            else:  # Y step blocked -> escape in X
+                flavor = FLAVOR_YX
+                if dst_x < x:
+                    prefs = ((-1, 0), (1, 0))
+                else:
+                    prefs = ((1, 0), (-1, 0))
+            options = tuple(
+                (directions[(router, dx, dy)], flavor)
+                for dx, dy in prefs
+                if (router, dx, dy) in directions
+            )
+            if options:
+                detours[(router, node)] = options
 
     return Topology(
         name=f"fat-mesh-{rows}x{cols}w{fat_width}",
@@ -190,7 +231,7 @@ def fat_mesh(
         ports_per_router=ports_per_router,
         hosts=hosts,
         channels=channels,
-        routing=FatMeshRouting(table),
+        routing=FatMeshRouting(table, alt_table, detours),
         extras={
             "rows": rows,
             "cols": cols,

@@ -8,7 +8,12 @@ crossbar, and pluggable multiplexer scheduling (see
 
 from repro.router.flit import Message, TrafficClass, messages_for_frame
 from repro.router.buffers import InputVC, OutputVC
-from repro.router.config import CrossbarKind, QosPlacement, RouterConfig
+from repro.router.config import (
+    CrossbarKind,
+    QosPlacement,
+    RouterConfig,
+    RoutingMode,
+)
 from repro.router.router import WormholeRouter
 from repro.router.routing import (
     FatMeshRouting,
@@ -25,6 +30,7 @@ __all__ = [
     "QosPlacement",
     "RouterConfig",
     "RoutingFunction",
+    "RoutingMode",
     "SingleSwitchRouting",
     "TrafficClass",
     "WormholeRouter",

@@ -51,6 +51,32 @@ class CrossbarKind:
     ALL = (MULTIPLEXED, FULL)
 
 
+class RoutingMode:
+    """How routing reacts to link failures.
+
+    * ``ORACLE`` — the PR-1 behaviour (and the default, so existing
+      runs stay bit-identical): port selection consults
+      ``Link.is_available``, i.e. the ground-truth fault windows.  Fat
+      groups dodge a down sibling instantly, but with perfect
+      knowledge no real router has.
+    * ``STATIC`` — no fault awareness at all.  Routing ignores link
+      state; a failed link is a black hole until end-to-end recovery
+      retries (and retries re-roll the same route).  The honest
+      baseline for the failover campaign.
+    * ``ADAPTIVE`` — symptom-based: the link-health monitor
+      (:mod:`repro.network.health`) masks ports it infers down from
+      observable evidence, routing falls back to detour tables on the
+      escape VC when a fat group empties, and worms stuck on a newly
+      masked port are killed and requeued.
+    """
+
+    ORACLE = "oracle"
+    STATIC = "static"
+    ADAPTIVE = "adaptive"
+
+    ALL = (ORACLE, STATIC, ADAPTIVE)
+
+
 @dataclass
 class RouterConfig:
     """Static configuration of one wormhole router.
@@ -92,6 +118,8 @@ class RouterConfig:
     #: cycles a preempted message waits before its retransmission is
     #: injected again (kill-and-retransmit backoff)
     preemption_backoff: int = 64
+    #: how port selection reacts to link failures (see RoutingMode)
+    routing_mode: str = RoutingMode.ORACLE
 
     def __post_init__(self) -> None:
         if self.num_ports < 1:
@@ -135,6 +163,11 @@ class RouterConfig:
             raise ConfigurationError(
                 f"preemption_backoff must be in [1, 1_000_000] cycles, "
                 f"got {self.preemption_backoff}"
+            )
+        if self.routing_mode not in RoutingMode.ALL:
+            raise ConfigurationError(
+                f"routing_mode must be one of {RoutingMode.ALL}, "
+                f"got {self.routing_mode!r}"
             )
 
     def vc_range_for_class(self, is_real_time: bool) -> range:

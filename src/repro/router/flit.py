@@ -66,6 +66,7 @@ class Message:
         "deliver_time",
         "killed",
         "corrupted",
+        "detoured",
     )
 
     def __init__(
@@ -107,6 +108,11 @@ class Message:
         #: a sink with the end-to-end checksum enabled rejects the
         #: message at its tail flit
         self.corrupted = False
+        #: adaptive-routing detour flavour (None, "xy", or "yx"): set
+        #: when a header escapes a fully masked fat group, sticky for
+        #: the rest of the journey, and reset by clone() so a
+        #: retransmission re-routes from scratch
+        self.detoured = None
 
     @property
     def is_real_time(self) -> bool:

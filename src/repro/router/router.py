@@ -39,7 +39,7 @@ from repro.core.schedulers import (
 )
 from repro.errors import FlowControlError, RoutingError
 from repro.router.buffers import InputVC, OutputVC
-from repro.router.config import CrossbarKind, RouterConfig
+from repro.router.config import CrossbarKind, RouterConfig, RoutingMode
 from repro.router.flit import Message
 from repro.router.routing import RoutingFunction
 
@@ -72,6 +72,11 @@ class WormholeRouter:
         #: output ports declared dead by a fault plan (repro.faults);
         #: the load-based fat-link selector routes around them
         self.faulted_ports: Set[int] = set()
+        #: routing-mode flags (see RoutingMode): oracle consults
+        #: ground-truth fault windows, adaptive consults the symptom
+        #: mask and may detour over the escape VC
+        self._oracle = config.routing_mode == RoutingMode.ORACLE
+        self._adaptive = config.routing_mode == RoutingMode.ADAPTIVE
 
         multiplexed = config.crossbar == CrossbarKind.MULTIPLEXED
         # Scheduler placement per section 3.3 (point A for a multiplexed
@@ -325,9 +330,33 @@ class WormholeRouter:
         if clock < vc.head_arrival + self.config.routing_delay:
             return False
         if vc.route_port < 0:
-            ports = self.routing.candidates(self.router_id, msg.dst_node)
+            if self._adaptive:
+                ports, flavor = self.routing.route_adaptive(
+                    self.router_id, msg.dst_node, msg.detoured
+                )
+                if flavor != msg.detoured:
+                    # Entering a detour needs an escape VC; a partition
+                    # with a single VC cannot spare one, so the worm
+                    # stays on the (masked) primary route and the
+                    # recovery layer owns its fate.
+                    if (
+                        len(self.config.vc_range_for_class(msg.is_real_time))
+                        < 2
+                    ):
+                        ports = self.routing.candidates(
+                            self.router_id, msg.dst_node
+                        )
+                    else:
+                        msg.detoured = flavor
+            else:
+                ports = self.routing.candidates(self.router_id, msg.dst_node)
             vc.route_port = self._select_output_port(clock, ports)
-        ovc = self._arbitrate_output_vc(clock, vc.route_port, msg)
+        escape_only = (
+            self._adaptive
+            and msg.detoured is not None
+            and not self.is_host_port[vc.route_port]
+        )
+        ovc = self._arbitrate_output_vc(clock, vc.route_port, msg, escape_only)
         if ovc is None:
             return False
         vc.route_vc = ovc
@@ -352,9 +381,13 @@ class WormholeRouter:
         """
         if len(ports) == 1:
             return ports[0]
-        usable = [p for p in ports if self._port_usable(clock, p)]
-        if usable:
-            ports = usable
+        if self._oracle:
+            # Oracle mode only: consult the ground-truth fault state.
+            # Static mode stays blind; adaptive mode already shrank the
+            # group via the symptom mask in route_adaptive.
+            usable = [p for p in ports if self._port_usable(clock, p)]
+            if usable:
+                ports = usable
         best_port = -1
         best_load = None
         for port in ports:
@@ -374,8 +407,33 @@ class WormholeRouter:
         link = self.out_links[port]
         return link is None or link.is_available(clock)
 
+    def _partition_indices(
+        self, port: int, is_real_time: bool, escape_only: bool
+    ):
+        """VC indices of the class partition, escape VC applied.
+
+        In adaptive mode the last VC of every multi-VC partition on a
+        non-host port is reserved as the *escape* VC: only detoured
+        messages may claim it (``escape_only``), and they may claim
+        nothing else.  Keeping normal worms off the escape VC means a
+        detoured worm can never be blocked behind traffic that is
+        itself waiting on the dead dimension — the standard escape-
+        channel deadlock-freedom argument.  Single-VC partitions have
+        nothing to spare; detours are refused there at routing time.
+        """
+        indices = self.config.vc_range_for_class(is_real_time)
+        if (
+            not self._adaptive
+            or self.is_host_port[port]
+            or len(indices) < 2
+        ):
+            return indices
+        if escape_only:
+            return indices[-1:]
+        return indices[:-1]
+
     def _arbitrate_output_vc(
-        self, clock: int, port: int, msg: Message
+        self, clock: int, port: int, msg: Message, escape_only: bool = False
     ) -> Optional[OutputVC]:
         """Grant a free output VC on ``port`` to ``msg``, if any.
 
@@ -415,13 +473,19 @@ class WormholeRouter:
             # (see DESIGN.md, model fidelity notes).
             if msg.is_real_time or self.config.be_dst_vc_binding:
                 return None
-        for index in self.config.vc_range_for_class(msg.is_real_time):
+        for index in self._partition_indices(
+            port, msg.is_real_time, escape_only
+        ):
             ovc = ovcs[index]
             if ovc.is_free:
                 ovc.grant(clock, msg)
                 return ovc
+        if escape_only:
+            # A detoured worm waits for its escape VC; borrowing or
+            # preempting a normal VC would defeat the reservation.
+            return None
         if self.config.dynamic_partitioning and not msg.is_real_time:
-            for index in self.config.vc_range_for_class(True):
+            for index in self._partition_indices(port, True, False):
                 ovc = ovcs[index]
                 if ovc.is_free:
                     ovc.grant(clock, msg)
@@ -436,7 +500,7 @@ class WormholeRouter:
                 # the hook kills the victim network-wide (dropping its
                 # remaining flits everywhere) and schedules a retransmit
                 self.on_preempt(victim)
-                for index in self.config.vc_range_for_class(True):
+                for index in self._partition_indices(port, True, False):
                     ovc = ovcs[index]
                     if ovc.is_free:
                         ovc.grant(clock, msg)

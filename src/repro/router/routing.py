@@ -6,13 +6,27 @@ single port except on *fat* topologies, where the two physical links
 toward the same neighbour are interchangeable and the router picks the
 less-loaded one (section 3.4: "a message can use any one of the two
 links to traverse to the next node based on the current load").
+
+Fault-aware (adaptive) routing adds a dynamic *mask* on top: the
+link-health monitor marks a ``(router, port)`` down and
+:meth:`route_adaptive` shrinks the candidate group to its healthy
+members.  When a fat group empties entirely the message falls back to a
+precomputed *detour*: a perpendicular first hop plus a switch of
+dimension order (X-then-Y traffic detouring around a dead X group
+continues Y-then-X, and vice versa), riding the escape VC to stay
+deadlock-free.  See ``docs/simulator-internals.md``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping, Optional, Set, Tuple
 
 from repro.errors import RoutingError
+
+#: detour flavours: which dimension-order table a detoured message uses
+#: for the rest of its journey (None = the primary table)
+FLAVOR_XY = "xy"
+FLAVOR_YX = "yx"
 
 
 class RoutingFunction:
@@ -21,6 +35,32 @@ class RoutingFunction:
     def candidates(self, router_id: int, dst_node: int) -> Tuple[int, ...]:
         """Output ports (non-empty tuple) a header may request."""
         raise NotImplementedError
+
+    # -- fault awareness (no-ops for topologies without redundancy) ----
+
+    def mask_port(self, router_id: int, port: int) -> None:
+        """Exclude ``port`` from ``route_adaptive`` results."""
+
+    def unmask_port(self, router_id: int, port: int) -> None:
+        """Re-admit a previously masked port."""
+
+    def masked(self, router_id: int) -> "frozenset[int]":
+        """Currently masked ports of one router (diagnostics)."""
+        return frozenset()
+
+    def route_adaptive(
+        self, router_id: int, dst_node: int, flavor: Optional[str]
+    ) -> Tuple[Tuple[int, ...], Optional[str]]:
+        """Candidates with the health mask applied.
+
+        Returns ``(ports, flavor)`` where ``flavor`` is the detour
+        flavour the message must carry from here on (sticky: once a
+        message detours onto the Y-then-X table it stays there).  The
+        default implementation ignores the mask — topologies without
+        redundant paths have nowhere else to send the worm, and the
+        end-to-end recovery layer owns the resulting losses.
+        """
+        return self.candidates(router_id, dst_node), flavor
 
 
 class SingleSwitchRouting(RoutingFunction):
@@ -44,13 +84,38 @@ class TableRouting(RoutingFunction):
     The table is built once by the topology constructor (dimension-order
     for meshes), so the per-header cost is a dictionary lookup.  Entries
     with several ports are fat-link groups.
+
+    ``alt_table`` is the opposite dimension order (Y-then-X for a mesh
+    routed X-then-Y) used by messages carrying the ``"yx"`` detour
+    flavour; ``detours`` maps ``(router_id, dst_node)`` to an ordered
+    tuple of ``(ports, flavor)`` fallbacks tried when the primary group
+    is fully masked.  Both are optional — a topology without them keeps
+    masked-group traffic on the primary route (recovery handles it).
     """
 
-    def __init__(self, table: Mapping[Tuple[int, int], Tuple[int, ...]]) -> None:
+    def __init__(
+        self,
+        table: Mapping[Tuple[int, int], Tuple[int, ...]],
+        alt_table: Optional[Mapping[Tuple[int, int], Tuple[int, ...]]] = None,
+        detours: Optional[
+            Mapping[Tuple[int, int], Tuple[Tuple[Tuple[int, ...], str], ...]]
+        ] = None,
+    ) -> None:
         self._table: Dict[Tuple[int, int], Tuple[int, ...]] = dict(table)
         for key, ports in self._table.items():
             if not ports:
                 raise RoutingError(f"empty routing entry for {key}")
+        self._alt_table: Dict[Tuple[int, int], Tuple[int, ...]] = dict(
+            alt_table or {}
+        )
+        self._detours: Dict[
+            Tuple[int, int], Tuple[Tuple[Tuple[int, ...], str], ...]
+        ] = dict(detours or {})
+        self._masked: Dict[int, Set[int]] = {}
+        #: fat groups shrunk around a masked sibling (counter)
+        self.reroutes = 0
+        #: primary group fully masked, detour fallback used (counter)
+        self.detours_taken = 0
 
     def candidates(self, router_id: int, dst_node: int) -> Tuple[int, ...]:
         try:
@@ -59,6 +124,52 @@ class TableRouting(RoutingFunction):
             raise RoutingError(
                 f"router {router_id}: no route to node {dst_node}"
             ) from None
+
+    # -- fault awareness ----------------------------------------------
+
+    def mask_port(self, router_id: int, port: int) -> None:
+        self._masked.setdefault(router_id, set()).add(port)
+
+    def unmask_port(self, router_id: int, port: int) -> None:
+        ports = self._masked.get(router_id)
+        if ports is not None:
+            ports.discard(port)
+            if not ports:
+                del self._masked[router_id]
+
+    def masked(self, router_id: int) -> "frozenset[int]":
+        return frozenset(self._masked.get(router_id, ()))
+
+    def route_adaptive(
+        self, router_id: int, dst_node: int, flavor: Optional[str]
+    ) -> Tuple[Tuple[int, ...], Optional[str]]:
+        primary = (
+            self._alt_table.get((router_id, dst_node))
+            if flavor == FLAVOR_YX
+            else None
+        )
+        if primary is None:
+            primary = self.candidates(router_id, dst_node)
+        masked = self._masked.get(router_id)
+        if not masked:
+            return primary, flavor
+        healthy = tuple(p for p in primary if p not in masked)
+        if healthy:
+            if len(healthy) < len(primary):
+                self.reroutes += 1
+            return healthy, flavor
+        for ports, detour_flavor in self._detours.get(
+            (router_id, dst_node), ()
+        ):
+            open_ports = tuple(p for p in ports if p not in masked)
+            if open_ports:
+                self.detours_taken += 1
+                return open_ports, detour_flavor
+        # Every option is masked: keep requesting the primary group.
+        # The worm blocks there until the port recovers or the
+        # end-to-end layer times it out — losing it outright would
+        # undercount deliverable traffic after a recovery.
+        return primary, flavor
 
 
 class FatMeshRouting(TableRouting):

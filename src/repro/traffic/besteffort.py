@@ -70,6 +70,10 @@ class BestEffortSource:
         self.config = config
         self.rng = rng
         self.messages_emitted = 0
+        #: messages suppressed while paused (graceful degradation)
+        self.messages_shed = 0
+        #: set by the link-health monitor while capacity is lost
+        self.paused = False
         self._network = None
         self._next_time = 0.0
 
@@ -85,10 +89,28 @@ class BestEffortSource:
             return self.rng.expovariate(1.0 / mean)
         return mean
 
+    def pause(self) -> None:
+        """Shed offered load: emissions are counted, not injected."""
+        self.paused = True
+
+    def resume(self) -> None:
+        """Resume injecting at the configured rate."""
+        self.paused = False
+
     def _emit(self) -> None:
         network = self._network
         cfg = self.config
         rng = self.rng
+        if self.paused:
+            # Keep the emission clock ticking so the source resumes on
+            # its own schedule, but shed the message itself.
+            self.messages_shed += 1
+            self._next_time = max(self._next_time, float(network.clock))
+            self._next_time += self._interval()
+            network.schedule_call(
+                max(network.clock + 1, int(self._next_time)), self._emit
+            )
+            return
         dst = rng.choice(cfg.dst_nodes)
         msg = Message(
             src_node=cfg.src_node,

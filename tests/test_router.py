@@ -142,8 +142,8 @@ class TestClassPartitioning:
         router = net.routers[0]
         original = router._arbitrate_output_vc
 
-        def spy(clock, port, msg):
-            ovc = original(clock, port, msg)
+        def spy(clock, port, msg, escape_only=False):
+            ovc = original(clock, port, msg, escape_only)
             if ovc is not None:
                 granted.append((msg.traffic_class, ovc.index))
             return ovc
