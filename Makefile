@@ -2,13 +2,24 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-default bench-smoke repro faults-smoke failover-smoke examples clean
+.PHONY: install test coverage bench bench-default bench-smoke repro faults-smoke failover-smoke trace-smoke examples clean
+
+# conservative floor just under the suite's measured line coverage of
+# src/repro; ratchet upward as coverage grows, never downward
+COV_MIN ?= 75
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+coverage:         ## tier-1 suite under the line-coverage gate
+	@$(PYTHON) -c "import pytest_cov" 2>/dev/null \
+		|| { echo "pytest-cov not installed (pip install -e .[dev]); skipping"; exit 0; } \
+		&& $(PYTHON) -m pytest tests/ --cov=repro \
+			--cov-report=term-missing:skip-covered \
+			--cov-fail-under=$(COV_MIN)
 
 bench:            ## quick-profile benchmarks (shape checks)
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -33,6 +44,11 @@ failover-smoke:   ## adaptive vs static with 2 permanent failures, CI-sized
 		--severities 0,2 --fresh \
 		--checkpoint mediaworm-failover-smoke.checkpoint.json \
 		--json FAILOVER_smoke.json
+
+trace-smoke:      ## traced run (invariants on) + JSONL schema validation
+	$(PYTHON) -m repro.experiments.cli trace --preset smoke \
+		--trace-out mediaworm-trace-smoke.jsonl
+	$(PYTHON) -m repro.obs mediaworm-trace-smoke.jsonl --digest
 
 examples:
 	$(PYTHON) examples/quickstart.py

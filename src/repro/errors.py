@@ -38,5 +38,15 @@ class FlowControlError(SimulationError):
     """A credit or buffer invariant was violated."""
 
 
+class InvariantViolation(SimulationError):
+    """An observability-layer invariant check failed.
+
+    Raised by :class:`repro.obs.InvariantChecker` (flit conservation,
+    credit consistency, monotone worm progress) and by trace-event
+    schema validation; carries enough context to name the offending
+    message/link/router.
+    """
+
+
 class AdmissionError(ReproError):
     """A stream was offered to a full admission controller."""

@@ -45,6 +45,7 @@ _DESCRIPTIONS = {
     "table3": "PCS connection drop accounting",
     "faults": "QoS degradation under link faults (fat mesh)",
     "failover": "adaptive vs static routing under permanent link failures",
+    "trace": "one traced run: JSONL event stream, invariants, profiling",
 }
 
 
@@ -224,6 +225,74 @@ def _run_failover(args, profile, executor) -> int:
     return 0
 
 
+def _run_trace(args, profile) -> int:
+    """The ``mediaworm trace`` subcommand: one fully observed run.
+
+    Runs the paper's default single-switch workload once with the
+    observability layer installed: a JSONL event stream (optionally
+    filtered by kind), an invariant checker auditing flit conservation
+    and credit consistency, and — with ``--profile`` — per-phase
+    simulation-loop wall-time profiling.
+    """
+    from repro.errors import ConfigurationError
+    from repro.experiments.config import SingleSwitchExperiment
+    from repro.experiments.figures import _base_kwargs
+    from repro.experiments.runner import simulate_single_switch
+    from repro.obs import ALL_EVENTS, TraceSpec
+
+    events = None
+    if args.trace_events:
+        events = tuple(
+            name.strip() for name in args.trace_events.split(",") if name.strip()
+        )
+    try:
+        spec = TraceSpec(
+            path=args.trace_out,
+            events=events,
+            chrome_path=args.chrome,
+            check=not args.no_check,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc))
+    experiment = SingleSwitchExperiment(
+        load=args.load,
+        trace=spec,
+        profile_loop=args.profile,
+        **_base_kwargs(profile),
+    )
+    started = time.perf_counter()
+    result = simulate_single_switch(experiment)
+    elapsed = time.perf_counter() - started
+    summary = result.trace_summary
+    print(f"cycles run        {result.cycles_run}")
+    print(f"flits injected    {result.flits_injected}")
+    print(f"flits ejected     {result.flits_ejected}")
+    print(f"events emitted    {summary['events']}")
+    for kind in sorted(ALL_EVENTS):
+        count = summary["counts"].get(kind)
+        if count:
+            print(f"  {kind:12s} {count}")
+    if not args.no_check:
+        print(
+            f"invariants        OK "
+            f"({summary['invariant_checks']} structural audits)"
+        )
+    print(
+        f"trace written     {summary['jsonl_path']} "
+        f"({summary['jsonl_records']} records)"
+    )
+    if args.chrome:
+        print(
+            f"chrome trace      {summary['chrome_path']} "
+            f"({summary['chrome_events']} events; open in ui.perfetto.dev)"
+        )
+    if args.profile:
+        for name, value in sorted(result.metrics.profile.items()):
+            print(f"  {name:22s} {value:.3f}")
+    print(f"[trace completed in {elapsed:.1f}s]")
+    return 0
+
+
 def _add_sweep_args(parser) -> None:
     """Flags shared by every sweep-running subcommand."""
     parser.add_argument(
@@ -357,12 +426,65 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="discard any existing checkpoint and recompute everything",
     )
 
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run once with structured tracing + invariant checking",
+    )
+    trace_parser.add_argument(
+        "--preset",
+        choices=sorted(PROFILES),
+        default="quick",
+        help="workload scale / horizon preset (default: quick)",
+    )
+    trace_parser.add_argument(
+        "--load",
+        type=float,
+        default=0.8,
+        metavar="F",
+        help="offered input-link load (default: 0.8)",
+    )
+    trace_parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default="mediaworm-trace.jsonl",
+        help="JSONL event-stream destination "
+        "(default: mediaworm-trace.jsonl)",
+    )
+    trace_parser.add_argument(
+        "--trace-events",
+        metavar="K1,K2,...",
+        default=None,
+        help="record only these event kinds (default: all; see "
+        "repro.obs.ALL_EVENTS)",
+    )
+    trace_parser.add_argument(
+        "--chrome",
+        metavar="PATH",
+        default=None,
+        help="also export a Chrome-trace/Perfetto JSON timeline",
+    )
+    trace_parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the invariant checker (tracing only)",
+    )
+    trace_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the simulation loop per phase (wall time)",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
         for name, desc in _DESCRIPTIONS.items():
             print(f"{name:8s} {desc}")
         return 0
+
+    if args.command == "trace":
+        # its --profile is the loop profiler; the workload preset is
+        # --preset, so resolve before the shared --profile handling
+        return _run_trace(args, get_profile(args.preset))
 
     profile = get_profile(args.profile)
     if args.watchdog is not None:

@@ -19,6 +19,7 @@ from repro.core.schedulers import SchedulingPolicy
 from repro.errors import ConfigurationError
 from repro.faults import FaultPlan, RecoveryConfig
 from repro.network.health import HealthConfig
+from repro.obs.events import TraceSpec
 from repro.router.config import (
     CrossbarKind,
     QosPlacement,
@@ -71,6 +72,12 @@ class _BaseExperiment:
     #: historical behaviour), "static" (blind), or "adaptive"
     #: (symptom-driven masking/detours via the health monitor)
     routing_mode: str = RoutingMode.ORACLE
+    #: optional structured-tracing request (``mediaworm trace``, tests);
+    #: None keeps every hook on its zero-overhead path
+    trace: Optional[TraceSpec] = None
+    #: profile the simulation loop per phase into ``RunMetrics.profile``
+    #: (wall time only; the simulation itself stays bit-identical)
+    profile_loop: bool = False
 
     def __post_init__(self) -> None:
         if self.warmup_frames < 1 or self.measure_frames < 1:

@@ -53,6 +53,8 @@ class RunProfile:
 
 
 PROFILES: Dict[str, RunProfile] = {
+    # CI-sized: the smallest run that still exercises warmup + measure
+    "smoke": RunProfile("smoke", scale=100.0, warmup_frames=1, measure_frames=2),
     "quick": RunProfile("quick", scale=40.0, warmup_frames=2, measure_frames=4),
     "default": RunProfile(
         "default", scale=20.0, warmup_frames=3, measure_frames=8

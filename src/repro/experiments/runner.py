@@ -17,6 +17,16 @@ from repro.faults import install_faults, install_recovery
 from repro.metrics.collector import MetricsCollector, RunMetrics
 from repro.network.health import install_health
 from repro.network.network import Network
+from repro.obs import (
+    CountingSink,
+    InvariantChecker,
+    JsonlTraceSink,
+    LoopProfiler,
+    MultiSink,
+    RingBufferSink,
+    install_tracing,
+    write_chrome_trace,
+)
 from repro.network.topology import fat_mesh, fat_tree, single_switch
 from repro.pcs.connection import ConnectionStats
 from repro.pcs.simulator import PCSSimulator
@@ -69,6 +79,9 @@ class ExperimentResult:
     #: fault/recovery accounting, present only when the experiment
     #: carried a fault plan or a recovery config
     fault_stats: Optional[Dict[str, object]] = None
+    #: tracing accounting (event counts, records written, invariant
+    #: checks run), present only when the experiment carried a TraceSpec
+    trace_summary: Optional[Dict[str, object]] = None
 
     @property
     def achieved_load(self) -> float:
@@ -192,6 +205,57 @@ def _fault_stats(network: Network) -> Optional[Dict[str, object]]:
     return stats
 
 
+class _TraceHarness:
+    """Sinks built from an experiment's :class:`TraceSpec`.
+
+    Assembles the requested sink stack (JSONL file, Chrome-trace ring
+    buffer, invariant checker — always alongside a counting sink for
+    the run summary), installs it on the network, and on ``finish``
+    closes the ledger, flushes the exporters, and reports accounting.
+    """
+
+    def __init__(self, network, spec) -> None:
+        self.spec = spec
+        self.network = network
+        self.counter = CountingSink()
+        self.jsonl = None
+        self.checker = None
+        self._ring = None
+        sinks = [self.counter]
+        if spec.path:
+            self.jsonl = JsonlTraceSink(spec.path, events=spec.events)
+            sinks.append(self.jsonl)
+        if spec.chrome_path:
+            self._ring = RingBufferSink()
+            sinks.append(self._ring)
+        if spec.check:
+            self.checker = InvariantChecker(network)
+            sinks.append(self.checker)
+        install_tracing(
+            network, sinks[0] if len(sinks) == 1 else MultiSink(sinks)
+        )
+
+    def finish(self) -> Dict[str, object]:
+        summary: Dict[str, object] = {
+            "events": self.counter.total,
+            "counts": dict(self.counter.counts),
+        }
+        if self.checker is not None:
+            self.checker.finish()
+            summary["invariant_events"] = self.checker.events_seen
+            summary["invariant_checks"] = self.checker.checks_run
+        if self.jsonl is not None:
+            self.jsonl.close()
+            summary["jsonl_path"] = self.spec.path
+            summary["jsonl_records"] = self.jsonl.records_written
+        if self._ring is not None:
+            summary["chrome_path"] = self.spec.chrome_path
+            summary["chrome_events"] = write_chrome_trace(
+                self.spec.chrome_path, self._ring.records
+            )
+        return summary
+
+
 def _simulate_wormhole(experiment, topology) -> ExperimentResult:
     """Shared runner body for the wormhole-network experiment types."""
     collector = MetricsCollector(
@@ -213,6 +277,14 @@ def _simulate_wormhole(experiment, topology) -> ExperimentResult:
         if monitor.config.shed_best_effort:
             monitor.bind_besteffort(workload.besteffort)
         monitor.bind_admission(_mirror_admission(network, workload))
+    # Observability extras install last so every emitter (including the
+    # transport and health monitor above) is wired before the first event.
+    spec = getattr(experiment, "trace", None)
+    harness = _TraceHarness(network, spec) if spec is not None else None
+    if getattr(experiment, "profile_loop", False):
+        profiler = LoopProfiler()
+        network.profiler = profiler
+        collector.attach_profiler(profiler)
     wall = _run_network(experiment, network, collector)
     return ExperimentResult(
         experiment=experiment,
@@ -223,6 +295,7 @@ def _simulate_wormhole(experiment, topology) -> ExperimentResult:
         flits_ejected=network.flits_ejected,
         wall_seconds=wall,
         fault_stats=_fault_stats(network),
+        trace_summary=None if harness is None else harness.finish(),
     )
 
 

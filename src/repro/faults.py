@@ -538,6 +538,8 @@ class EndToEndTransport:
         #: across the retry chain (clones reset their own timestamps)
         #: so QoS deadline accounting spans the whole recovery effort
         self._birth: Dict[int, int] = {}
+        #: trace sink installed by repro.obs.install_tracing
+        self.trace = None
 
     # -- network hooks --------------------------------------------------
 
@@ -621,12 +623,25 @@ class EndToEndTransport:
     def _retry(self, msg) -> None:
         retries = self._attempt.pop(msg.msg_id, 0)
         birth = self._birth.pop(msg.msg_id, None)
+        network = self.network
         if retries >= self.config.max_retries:
             self.stats.abandoned += 1
             if msg.is_real_time:
                 self.stats.qos_abandoned += 1
             else:
                 self.stats.be_abandoned += 1
+            if self.trace is not None:
+                self.trace.on_event(
+                    "retransmit",
+                    network.clock,
+                    {
+                        "msg": msg.msg_id,
+                        "clone": -1,
+                        "retries": retries,
+                        "delay": 0,
+                        "abandoned": True,
+                    },
+                )
             return
         clone = msg.clone()
         self._attempt[clone.msg_id] = retries + 1
@@ -636,10 +651,21 @@ class EndToEndTransport:
         delay = min(
             self.config.backoff_base << retries, self.config.backoff_cap
         )
-        network = self.network
         network.schedule_call(
             network.clock + delay, lambda m=clone: network.inject_now(m)
         )
+        if self.trace is not None:
+            self.trace.on_event(
+                "retransmit",
+                network.clock,
+                {
+                    "msg": msg.msg_id,
+                    "clone": clone.msg_id,
+                    "retries": retries,
+                    "delay": delay,
+                    "abandoned": False,
+                },
+            )
 
 
 def install_recovery(network, config: RecoveryConfig) -> EndToEndTransport:

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 from repro.metrics.delivery import FrameDeliveryTracker
 from repro.metrics.latency import LatencyTracker
@@ -27,10 +27,15 @@ class MetricsCollector:
         self.delivery = FrameDeliveryTracker(warmup=warmup)
         self.latency = LatencyTracker(warmup=warmup)
         self._health_monitor = None
+        self._profiler = None
 
     def attach_health(self, monitor) -> None:
         """Fold a LinkHealthMonitor's counters into snapshots."""
         self._health_monitor = monitor
+
+    def attach_profiler(self, profiler) -> None:
+        """Fold a LoopProfiler's per-phase wall times into snapshots."""
+        self._profiler = profiler
 
     def on_message(self, msg: Message, clock: int) -> None:
         """Network delivery callback."""
@@ -70,6 +75,9 @@ class MetricsCollector:
             ),
             be_latency_std_us=raw_us(self.latency.std_latency),
             be_message_count=self.latency.count,
+            profile=(
+                {} if self._profiler is None else self._profiler.summary()
+            ),
             **health,
         )
 
@@ -107,6 +115,10 @@ class RunMetrics:
     worms_requeued: int = 0
     streams_shed: int = 0
     be_messages_shed: int = 0
+    #: per-phase simulation-loop wall seconds (LoopProfiler.summary());
+    #: empty unless the run was profiled — wall time is not part of the
+    #: deterministic metric surface, so bench parity checks stay exact
+    profile: Dict[str, float] = field(default_factory=dict)
 
     @property
     def d(self) -> float:

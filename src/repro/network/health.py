@@ -166,6 +166,16 @@ class LinkHealth:
         """False only while the link is declared DOWN (masked)."""
         return self.state != DOWN
 
+    def _emit(self, clock: int, prev: str) -> None:
+        """Trace a state transition (no-op without an installed sink)."""
+        trace = self.monitor.trace
+        if trace is not None:
+            trace.on_event(
+                "health",
+                clock,
+                {"link": self.label, "state": self.state, "prev": prev},
+            )
+
     def on_ok(self, clock: int, count: int = 1) -> None:
         """``count`` flits delivered cleanly at ``clock``."""
         state = self.state
@@ -177,6 +187,7 @@ class LinkHealth:
                 self.state = UP
                 self.misses = 0
                 self.ok_streak = 0
+                self._emit(clock, SUSPECT)
         elif state == PROBATION:
             self.ok_streak += count
             if self.ok_streak >= self.monitor.config.probation_oks:
@@ -200,6 +211,7 @@ class LinkHealth:
         self.ok_streak = 0
         if state == UP and self.misses >= config.suspect_misses:
             self.state = SUSPECT
+            self._emit(clock, UP)
         if self.misses >= config.down_misses:
             self._declare_down(clock, relapse=False)
 
@@ -211,7 +223,9 @@ class LinkHealth:
     # -- transitions ----------------------------------------------------
 
     def _declare_down(self, clock: int, relapse: bool) -> None:
+        prev = self.state
         self.state = DOWN
+        self._emit(clock, prev)
         self.downs += 1
         if relapse:
             self.flaps += 1
@@ -224,7 +238,9 @@ class LinkHealth:
         self.monitor._on_down(self, clock)
 
     def _declare_up(self, clock: int) -> None:
+        prev = self.state
         self.state = UP
+        self._emit(clock, prev)
         self.recoveries += 1
         if self.down_since >= 0:
             self.ttr_total += clock - self.down_since
@@ -240,6 +256,8 @@ class LinkHealth:
             return
         self.state = PROBATION
         self.ok_streak = 0
+        if self.monitor.trace is not None:
+            self._emit(self.monitor.network.clock, DOWN)
         self.monitor._on_probation(self)
 
 
@@ -293,6 +311,8 @@ class LinkHealthMonitor:
         self.worms_requeued = 0
         self.streams_shed = 0
         self.streams_readmitted = 0
+        #: trace sink installed by repro.obs.install_tracing
+        self.trace = None
 
     # -- bindings -------------------------------------------------------
 

@@ -74,6 +74,8 @@ class HostInterface:
         #: activation hook fired when this NI gains backlog; installed
         #: by the network so the active-set loop starts stepping it
         self.on_activated: Optional[Callable[[], None]] = None
+        #: trace sink installed by repro.obs.install_tracing
+        self.trace = None
 
     def inject(self, clock: int, msg: Message) -> None:
         """Queue a message for transmission on its source VC.
@@ -132,6 +134,19 @@ class HostInterface:
         vc.sent += 1
         vc.head_stamp = None
         self.link.send(clock, msg, flit_index, chosen)
+        if self.trace is not None:
+            self.trace.on_event(
+                "flit_inject",
+                clock,
+                {
+                    "node": self.node_id,
+                    "vc": chosen,
+                    "msg": msg.msg_id,
+                    "flit": flit_index,
+                    "size": msg.size,
+                    "cls": msg.traffic_class,
+                },
+            )
         if flit_index == 0 and self.on_start is not None:
             self.on_start(msg, clock)
         if flit_index == msg.size - 1:
@@ -215,10 +230,23 @@ class HostSink:
         self.flits_ejected = 0
         self.messages_ejected = 0
         self.messages_corrupt = 0
+        #: trace sink installed by repro.obs.install_tracing
+        self.trace = None
 
     def eject(self, clock: int, msg: Message, flit_index: int) -> None:
         """Consume one flit; fire callbacks on tails."""
         self.flits_ejected += 1
+        if self.trace is not None:
+            self.trace.on_event(
+                "flit_eject",
+                clock,
+                {
+                    "node": self.node_id,
+                    "msg": msg.msg_id,
+                    "flit": flit_index,
+                    "tail": msg.is_tail(flit_index),
+                },
+            )
         if self.on_flit is not None:
             self.on_flit(1)
         if msg.is_tail(flit_index):

@@ -41,6 +41,7 @@ class Link:
         "src_router",
         "src_port",
         "on_wake",
+        "trace",
     )
 
     def __init__(
@@ -77,6 +78,8 @@ class Link:
         #: network so the active-set loop learns when this link next
         #: needs service (None when the link is driven manually)
         self.on_wake = None
+        #: trace sink installed by repro.obs.install_tracing
+        self.trace = None
 
     def send(self, clock: int, msg: Message, flit_index: int, vc_index: int) -> None:
         """Put one flit on the wire at cycle ``clock``."""
@@ -84,6 +87,18 @@ class Link:
         self.pending.append((arrival, msg, flit_index, vc_index))
         if self.on_wake is not None:
             self.on_wake(arrival)
+        if self.trace is not None:
+            self.trace.on_event(
+                "link_tx",
+                clock,
+                {
+                    "link": self.label,
+                    "msg": msg.msg_id,
+                    "flit": flit_index,
+                    "vc": vc_index,
+                    "arrive": arrival,
+                },
+            )
 
     def deliver_due(self, clock: int) -> int:
         """Hand over every flit whose latency has elapsed.
@@ -140,6 +155,17 @@ class Link:
                     if sender is not None:
                         sender.credits += 1
                 faults.account_lost()
+                if self.trace is not None:
+                    self.trace.on_event(
+                        "flit_lost",
+                        clock,
+                        {
+                            "link": self.label,
+                            "msg": msg.msg_id,
+                            "flit": flit_index,
+                            "down": down,
+                        },
+                    )
                 # The teardowns below (loss recovery, and a health
                 # transition's kill-and-requeue) may purge this link and
                 # rebuild self.pending; re-fetch so we keep draining the
@@ -152,6 +178,16 @@ class Link:
             if fate == FATE_CORRUPT:
                 msg.corrupted = True
                 faults.account_corrupted()
+                if self.trace is not None:
+                    self.trace.on_event(
+                        "flit_corrupt",
+                        clock,
+                        {
+                            "link": self.label,
+                            "msg": msg.msg_id,
+                            "flit": flit_index,
+                        },
+                    )
             if router is not None:
                 router.accept_flit(
                     clock, self.dest_port, vc_index, msg, flit_index

@@ -20,6 +20,7 @@ import logging
 import os
 from dataclasses import replace
 from functools import partial
+from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import ConfigurationError, DeadlockError, SimulationError
@@ -87,6 +88,10 @@ class Network:
         self.transport = None
         #: LinkHealthMonitor installed by repro.network.health
         self.health_monitor = None
+        #: trace sink installed by repro.obs.install_tracing (purge events)
+        self.trace = None
+        #: LoopProfiler installed by the runner (per-phase wall time)
+        self.profiler = None
         self._on_message = on_message
 
         self.routers: List[WormholeRouter] = [
@@ -252,9 +257,11 @@ class Network:
             )
         msg.killed = True
         dropped = 0
+        ni_dropped = 0
         ni = self.interfaces.get(msg.src_node)
         if ni is not None:
-            dropped += ni.purge_message(msg)
+            ni_dropped = ni.purge_message(msg)
+            dropped += ni_dropped
         for link in self.links:
             dropped_vcs = link.purge_message(msg)
             dropped += len(dropped_vcs)
@@ -273,6 +280,12 @@ class Network:
             dropped += router.purge_message(msg)
         self._flits_in_flight -= dropped
         self.flits_dropped += dropped
+        if self.trace is not None:
+            self.trace.on_event(
+                "purge",
+                self.clock,
+                {"msg": msg.msg_id, "dropped": dropped, "ni": ni_dropped},
+            )
         # A purge can both quiesce components (emptied buffers) and
         # create work (a queued message re-entering arbitration), so
         # re-derive the active sets from scratch.  Kills are rare
@@ -428,6 +441,7 @@ class Network:
         router_active = router_sched._active
         link_wakers = self._link_wakers
         watchdog = self.watchdog_window
+        profiler = self.profiler
         stall_clock = max(self._stall_clock, clock - 1)
         while clock < until:
             if not (ni_active or router_active):
@@ -475,7 +489,12 @@ class Network:
                     if clock >= until:
                         break
             self.clock = clock
+            if profiler is not None:
+                t0 = perf_counter()
             events.fire_due(clock)
+            if profiler is not None:
+                t1 = perf_counter()
+                profiler.events_s += t1 - t0
             progress = 0
             for index in link_sched.due(clock):
                 link = links[index]
@@ -508,14 +527,23 @@ class Network:
                     rid = router.router_id
                     if rid not in router_active:
                         router_sched.activate(rid)
+            if profiler is not None:
+                t2 = perf_counter()
+                profiler.links_s += t2 - t1
             for index in ni_sched.due(clock):
                 ni = interfaces[index]
                 ni.step(clock)
                 if not ni._active:
                     ni_sched.deactivate(index)
+            if profiler is not None:
+                t3 = perf_counter()
+                profiler.nis_s += t3 - t2
             for rid in router_sched.due(clock):
                 if routers[rid].step(clock):
                     router_sched.deactivate(rid)
+            if profiler is not None:
+                profiler.routers_s += perf_counter() - t3
+                profiler.cycles += 1
             if watchdog is not None:
                 if progress or not self._flits_in_flight:
                     stall_clock = clock
@@ -545,6 +573,7 @@ class Network:
         interfaces = self._ni_list
         routers = self.routers
         watchdog = self.watchdog_window
+        profiler = self.profiler
         stall_clock = max(self._stall_clock, clock - 1)
         while clock < until:
             if self._flits_in_flight == 0:
@@ -558,15 +587,29 @@ class Network:
                     if clock >= until:
                         break
             self.clock = clock
+            if profiler is not None:
+                t0 = perf_counter()
             events.fire_due(clock)
+            if profiler is not None:
+                t1 = perf_counter()
+                profiler.events_s += t1 - t0
             progress = 0
             for link in links:
                 if link.pending:
                     progress += link.deliver_due(clock)
+            if profiler is not None:
+                t2 = perf_counter()
+                profiler.links_s += t2 - t1
             for ni in interfaces:
                 ni.step(clock)
+            if profiler is not None:
+                t3 = perf_counter()
+                profiler.nis_s += t3 - t2
             for router in routers:
                 router.step(clock)
+            if profiler is not None:
+                profiler.routers_s += perf_counter() - t3
+                profiler.cycles += 1
             if watchdog is not None:
                 if progress or not self._flits_in_flight:
                     stall_clock = clock

@@ -1,0 +1,56 @@
+"""Structured tracing, profiling, and invariant checking (``repro.obs``).
+
+The observability layer: typed flit-lifecycle events
+(:mod:`repro.obs.events`) emitted from instrumentation points across
+the router/network/transport stack into pluggable sinks
+(:mod:`repro.obs.sinks`), with an event-driven
+:class:`~repro.obs.invariants.InvariantChecker`, a Chrome-trace/Perfetto
+exporter (:mod:`repro.obs.chrometrace`), and a simulation-loop profiler
+(:mod:`repro.obs.profile`).  Zero overhead when disabled: every hook is
+a single ``is None`` check.  See ``docs/simulator-internals.md``
+("Tracing and invariants") for the taxonomy and the overhead contract.
+"""
+
+from repro.obs.chrometrace import chrome_trace, write_chrome_trace
+from repro.obs.events import (
+    ALL_EVENTS,
+    EVENT_SCHEMA,
+    TraceSpec,
+    check_event_names,
+    validate_event,
+)
+from repro.obs.invariants import InvariantChecker, check_credits
+from repro.obs.profile import LoopProfiler
+from repro.obs.sinks import (
+    CountingSink,
+    JsonlTraceSink,
+    MultiSink,
+    RingBufferSink,
+    TraceSink,
+    counts_by_kind,
+    install_tracing,
+    stream_digest,
+    uninstall_tracing,
+)
+
+__all__ = [
+    "ALL_EVENTS",
+    "EVENT_SCHEMA",
+    "TraceSpec",
+    "check_event_names",
+    "validate_event",
+    "InvariantChecker",
+    "check_credits",
+    "LoopProfiler",
+    "chrome_trace",
+    "write_chrome_trace",
+    "CountingSink",
+    "JsonlTraceSink",
+    "MultiSink",
+    "RingBufferSink",
+    "TraceSink",
+    "counts_by_kind",
+    "install_tracing",
+    "stream_digest",
+    "uninstall_tracing",
+]

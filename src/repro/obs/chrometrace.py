@@ -1,0 +1,122 @@
+"""Chrome-trace / Perfetto JSON export of a trace-event stream.
+
+Produces the `Trace Event Format`_ consumed by ``chrome://tracing`` and
+https://ui.perfetto.dev: one *complete* ("X") slice per worm from header
+injection to tail ejection on a per-source-node track, plus an
+*instant* ("i") event for every lifecycle record so the flit-level
+detail stays zoomable under the slices.  Timestamps are simulator
+cycles written as microseconds — absolute wall time is meaningless for
+a cycle-accurate simulation, so one cycle renders as one "us".
+
+.. _Trace Event Format: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Tuple
+
+from repro.obs import events as ev
+
+#: synthetic "process" ids grouping the timeline tracks
+PID_WORMS = 1
+PID_ROUTERS = 2
+PID_LINKS = 3
+PID_CONTROL = 4
+
+_PROCESS_NAMES = {
+    PID_WORMS: "worms (per source node)",
+    PID_ROUTERS: "routers",
+    PID_LINKS: "links",
+    PID_CONTROL: "recovery + health",
+}
+
+
+def chrome_trace(records: Iterable[Tuple[str, int, dict]]) -> dict:
+    """Convert ``(kind, cycle, fields)`` records to a Chrome-trace dict."""
+    trace_events: List[dict] = []
+    #: msg -> (inject cycle, source node)
+    born: Dict[int, Tuple[int, int]] = {}
+    link_tids: Dict[str, int] = {}
+
+    def link_tid(label: str) -> int:
+        tid = link_tids.get(label)
+        if tid is None:
+            tid = len(link_tids)
+            link_tids[label] = tid
+        return tid
+
+    for kind, cycle, fields in records:
+        if kind == ev.FLIT_INJECT:
+            if fields["flit"] == 0:
+                born[fields["msg"]] = (cycle, fields["node"])
+            pid, tid = PID_WORMS, fields["node"]
+        elif kind == ev.FLIT_EJECT:
+            msg = fields["msg"]
+            if fields["tail"] and msg in born:
+                start, node = born.pop(msg)
+                trace_events.append(
+                    {
+                        "name": f"msg {msg}",
+                        "cat": "worm",
+                        "ph": "X",
+                        "ts": start,
+                        "dur": max(cycle - start, 1),
+                        "pid": PID_WORMS,
+                        "tid": node,
+                        "args": {"dst": fields["node"]},
+                    }
+                )
+            pid, tid = PID_WORMS, fields["node"]
+        elif kind in (ev.ROUTE, ev.VC_ALLOC, ev.VC_RELEASE, ev.SCHED, ev.XBAR):
+            pid, tid = PID_ROUTERS, fields["router"]
+        elif kind in (ev.LINK_TX, ev.FLIT_LOST, ev.FLIT_CORRUPT, ev.HEALTH):
+            pid, tid = PID_LINKS, link_tid(fields["link"])
+        else:  # purge / retransmit
+            pid, tid = PID_CONTROL, 0
+        trace_events.append(
+            {
+                "name": kind,
+                "cat": "flit",
+                "ph": "i",
+                "s": "t",
+                "ts": cycle,
+                "pid": pid,
+                "tid": tid,
+                "args": dict(fields),
+            }
+        )
+    for pid, name in _PROCESS_NAMES.items():
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": name},
+            }
+        )
+    for label, tid in link_tids.items():
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": PID_LINKS,
+                "tid": tid,
+                "args": {"name": label},
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"ts_unit": "simulator cycles"},
+    }
+
+
+def write_chrome_trace(
+    path, records: Iterable[Tuple[str, int, dict]]
+) -> int:
+    """Write the Perfetto-loadable JSON; returns the event count."""
+    trace = chrome_trace(records)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, separators=(",", ":"))
+    return len(trace["traceEvents"])

@@ -1,0 +1,264 @@
+"""Event-driven invariant checking over the trace stream.
+
+:class:`InvariantChecker` is a :class:`~repro.obs.sinks.TraceSink` that
+replays the flit lifecycle from the event stream and raises
+:class:`~repro.errors.InvariantViolation` the moment the simulator's
+story stops adding up:
+
+* **in-order injection** — an NI emits each message's flits 0..size-1
+  with no gaps or repeats;
+* **monotone worm progress** — at any (router, input port, VC) a
+  message's flits cross the crossbar strictly in order (wormhole flow
+  control admits nothing else);
+* **in-order ejection** — a sink consumes a message's flits in strictly
+  increasing order, and a tail ejection implies the whole worm arrived;
+* **flit conservation** (:meth:`InvariantChecker.finish`) — every flit
+  put on a wire is ejected, destroyed by a fault, purged by a kill, or
+  still buffered in a router/link at the end of the run — per message
+  and in aggregate;
+* **credit consistency** (:func:`check_credits`, run periodically while
+  events flow and again at :meth:`~InvariantChecker.finish`) — for
+  every wired input VC, the sender-side credit counter equals the
+  buffer capacity minus buffered flits minus flits on the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.errors import InvariantViolation
+from repro.obs import events as ev
+from repro.obs.sinks import TraceSink
+
+
+def check_credits(network) -> None:
+    """Audit every credit counter against buffer + wire occupancy.
+
+    The sender-side counter (an NI VC for host-injection links, the
+    upstream :class:`~repro.router.buffers.OutputVC` for inter-router
+    channels) must equal the downstream input VC's free space minus the
+    flits still in flight on the wire — credits are decremented at
+    send time, before the flit lands.
+    """
+    for link in network.links:
+        router = link.dest_router
+        if router is None:
+            continue  # ejection link: the sink consumes at link rate
+        on_wire: Dict[int, int] = {}
+        for entry in link.pending:
+            vc_index = entry[3]
+            on_wire[vc_index] = on_wire.get(vc_index, 0) + 1
+        for ivc in router.inputs[link.dest_port]:
+            sender = ivc.credit_sink
+            if sender is None:
+                continue
+            expected = (
+                ivc.capacity - ivc.buffered - on_wire.get(ivc.index, 0)
+            )
+            if sender.credits != expected:
+                raise InvariantViolation(
+                    f"credit drift on {link.label} vc {ivc.index}: sender "
+                    f"holds {sender.credits} credits, but capacity "
+                    f"{ivc.capacity} - buffered {ivc.buffered} - on-wire "
+                    f"{on_wire.get(ivc.index, 0)} = {expected}"
+                )
+
+
+class InvariantChecker(TraceSink):
+    """Validate the flit lifecycle live, from the event stream.
+
+    Install alongside any other sink (see
+    :class:`~repro.obs.sinks.MultiSink`); it must see the *full* event
+    stream — kind filtering would blind the conservation ledger.  Pass
+    the network to enable periodic + final structural checks
+    (:func:`check_credits`, router bookkeeping); ``credit_interval``
+    is the event count between periodic credit audits (0 disables
+    them, the final audit still runs).
+    """
+
+    def __init__(self, network=None, credit_interval: int = 4096) -> None:
+        self.network = network
+        self.credit_interval = credit_interval
+        self.events_seen = 0
+        self.checks_run = 0
+        #: msg -> declared size (from the header injection event)
+        self._size: Dict[int, int] = {}
+        #: msg -> flits the NI put on the injection wire
+        self._sent: Dict[int, int] = {}
+        #: msg -> flits consumed by a host sink
+        self._ejected: Dict[int, int] = {}
+        #: msg -> highest flit index ejected so far
+        self._last_eject: Dict[int, int] = {}
+        #: msg ids whose tail flit was ejected
+        self._tail_ejected: Set[int] = set()
+        #: msg -> flits destroyed by link faults
+        self._lost: Dict[int, int] = {}
+        #: msg -> flits purged from routers/links by kill_message
+        self._purged: Dict[int, int] = {}
+        #: (msg, router, port, vc) -> next expected crossbar flit index
+        self._xbar_expect: Dict[Tuple[int, int, int, int], int] = {}
+        #: (router, port, vc, msg) grants outstanding (alloc w/o release)
+        self._granted: Set[Tuple[int, int, int, int]] = set()
+
+    # -- the sink interface ---------------------------------------------
+
+    def on_event(self, kind: str, cycle: int, fields: dict) -> None:
+        self.events_seen += 1
+        if kind == ev.FLIT_INJECT:
+            self._on_inject(fields)
+        elif kind == ev.FLIT_EJECT:
+            self._on_eject(fields)
+        elif kind == ev.XBAR:
+            self._on_xbar(fields)
+        elif kind == ev.FLIT_LOST:
+            msg = fields["msg"]
+            self._lost[msg] = self._lost.get(msg, 0) + 1
+        elif kind == ev.PURGE:
+            self._on_purge(fields)
+        elif kind == ev.VC_ALLOC:
+            self._granted.add(
+                (fields["router"], fields["port"], fields["vc"], fields["msg"])
+            )
+        elif kind == ev.VC_RELEASE:
+            self._on_release(fields)
+        if (
+            self.credit_interval
+            and self.network is not None
+            and self.events_seen % self.credit_interval == 0
+        ):
+            check_credits(self.network)
+            self.checks_run += 1
+
+    def close(self) -> None:
+        pass
+
+    # -- per-kind checks -------------------------------------------------
+
+    def _on_inject(self, fields: dict) -> None:
+        msg = fields["msg"]
+        flit = fields["flit"]
+        expected = self._sent.get(msg, 0)
+        if flit != expected:
+            raise InvariantViolation(
+                f"message {msg}: NI sent flit {flit}, expected {expected} "
+                f"(injection must be in order, gap-free)"
+            )
+        if flit == 0:
+            self._size[msg] = fields["size"]
+        if flit >= self._size.get(msg, flit + 1):
+            raise InvariantViolation(
+                f"message {msg}: flit {flit} beyond declared size "
+                f"{self._size[msg]}"
+            )
+        self._sent[msg] = expected + 1
+
+    def _on_eject(self, fields: dict) -> None:
+        msg = fields["msg"]
+        flit = fields["flit"]
+        last = self._last_eject.get(msg, -1)
+        if flit <= last:
+            raise InvariantViolation(
+                f"message {msg}: ejected flit {flit} after flit {last} "
+                f"(ejection order must be strictly increasing)"
+            )
+        self._last_eject[msg] = flit
+        self._ejected[msg] = self._ejected.get(msg, 0) + 1
+        if fields["tail"]:
+            size = self._size.get(msg)
+            if size is not None and flit != size - 1:
+                raise InvariantViolation(
+                    f"message {msg}: tail ejected at flit {flit}, "
+                    f"size is {size}"
+                )
+            self._tail_ejected.add(msg)
+
+    def _on_xbar(self, fields: dict) -> None:
+        msg = fields["msg"]
+        flit = fields["flit"]
+        key = (msg, fields["router"], fields["port"], fields["vc"])
+        expected = self._xbar_expect.get(key, 0)
+        if flit != expected:
+            raise InvariantViolation(
+                f"message {msg}: router {fields['router']} port "
+                f"{fields['port']} vc {fields['vc']} crossed flit {flit}, "
+                f"expected {expected} (worm progress must be monotone)"
+            )
+        size = self._size.get(msg)
+        if size is not None and flit == size - 1:
+            # tail crossed: a cyclic detour walk may revisit this VC,
+            # restarting at flit 0
+            self._xbar_expect[key] = 0
+        else:
+            self._xbar_expect[key] = flit + 1
+
+    def _on_purge(self, fields: dict) -> None:
+        msg = fields["msg"]
+        dropped = fields["dropped"]
+        ni = fields["ni"]
+        if not 0 <= ni <= dropped:
+            raise InvariantViolation(
+                f"message {msg}: purge dropped {dropped} with {ni} from "
+                f"the NI (need 0 <= ni <= dropped)"
+            )
+        # only flits already on a wire count against the sent ledger
+        self._purged[msg] = self._purged.get(msg, 0) + (dropped - ni)
+
+    def _on_release(self, fields: dict) -> None:
+        key = (
+            fields["router"],
+            fields["port"],
+            fields["vc"],
+            fields["msg"],
+        )
+        if key not in self._granted:
+            raise InvariantViolation(
+                f"output VC ({fields['port']},{fields['vc']}) of router "
+                f"{fields['router']} released for message {fields['msg']} "
+                f"without a matching grant"
+            )
+        self._granted.discard(key)
+
+    # -- end-of-run audit ------------------------------------------------
+
+    def finish(self, network=None) -> None:
+        """Close the ledger: conservation per message and in aggregate.
+
+        Call after the run (the network need not be drained — flits
+        still buffered in routers/links are accounted as in flight).
+        """
+        network = network if network is not None else self.network
+        in_flight_total = 0
+        for msg, sent in self._sent.items():
+            size = self._size.get(msg, sent)
+            ejected = self._ejected.get(msg, 0)
+            lost = self._lost.get(msg, 0)
+            purged = self._purged.get(msg, 0)
+            accounted = ejected + lost + purged
+            leftover = sent - accounted
+            if leftover < 0:
+                raise InvariantViolation(
+                    f"message {msg}: {sent} flits sent but {accounted} "
+                    f"accounted (ejected {ejected} + lost {lost} + purged "
+                    f"{purged}) — a flit exited twice"
+                )
+            if sent > size:
+                raise InvariantViolation(
+                    f"message {msg}: {sent} flits sent, size is {size}"
+                )
+            if msg in self._tail_ejected and ejected != size:
+                raise InvariantViolation(
+                    f"message {msg}: tail ejected but only {ejected} of "
+                    f"{size} flits arrived"
+                )
+            in_flight_total += leftover
+        if network is not None:
+            buffered = sum(r.buffered_flits() for r in network.routers)
+            buffered += sum(link.in_flight for link in network.links)
+            if in_flight_total != buffered:
+                raise InvariantViolation(
+                    f"conservation ledger leaves {in_flight_total} flits in "
+                    f"flight, but routers+links hold {buffered}"
+                )
+            check_credits(network)
+            self.checks_run += 1
+            network.check_invariants()

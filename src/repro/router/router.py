@@ -111,6 +111,8 @@ class WormholeRouter:
         #: optional hook(msg, flit_index) fired when a flit crosses the
         #: crossbar — used by tests and the conservation audit
         self.on_crossbar: Optional[Callable[[Message, int], None]] = None
+        #: trace sink installed by repro.obs.install_tracing
+        self.trace = None
 
     # ------------------------------------------------------------------
     # wiring helpers (used by the network builder)
@@ -192,6 +194,20 @@ class WormholeRouter:
                 continue
             chosen = self._out_selectors[port].select(candidates)
             ovc = ovcs[chosen]
+            if self.trace is not None:
+                self.trace.on_event(
+                    "sched",
+                    clock,
+                    {
+                        "router": self.router_id,
+                        "point": "C",
+                        "port": port,
+                        "policy": self._out_policy.policy,
+                        "vc": chosen,
+                        "stamp": ovc.stamps[0],
+                        "cands": len(candidates),
+                    },
+                )
             msg, flit_index = ovc.pop_head()
             if ovc.downstream is not None:
                 ovc.credits -= 1
@@ -210,6 +226,17 @@ class WormholeRouter:
                 self._work -= 1
             if msg.is_tail(flit_index):
                 ovc.release()
+                if self.trace is not None:
+                    self.trace.on_event(
+                        "vc_release",
+                        clock,
+                        {
+                            "router": self.router_id,
+                            "port": port,
+                            "vc": chosen,
+                            "msg": msg.msg_id,
+                        },
+                    )
 
     # -- stage 4: crossbar ---------------------------------------------
 
@@ -250,6 +277,20 @@ class WormholeRouter:
             if not candidates:
                 continue
             chosen = self._in_selectors[port].select(candidates)
+            if self.trace is not None:
+                self.trace.on_event(
+                    "sched",
+                    clock,
+                    {
+                        "router": self.router_id,
+                        "point": "A",
+                        "port": port,
+                        "policy": self._in_policy.policy,
+                        "vc": chosen,
+                        "stamp": port_vcs[chosen].stamps[0],
+                        "cands": len(candidates),
+                    },
+                )
             self._move_through_crossbar(clock, port_vcs[chosen])
 
     def _crossbar_full(self, clock: int) -> None:
@@ -283,6 +324,20 @@ class WormholeRouter:
             self._work += 1
         if self.on_crossbar is not None:
             self.on_crossbar(msg, flit_index)
+        if self.trace is not None:
+            self.trace.on_event(
+                "xbar",
+                clock,
+                {
+                    "router": self.router_id,
+                    "port": vc.port,
+                    "vc": vc.index,
+                    "out_port": ovc.port,
+                    "out_vc": ovc.index,
+                    "msg": msg.msg_id,
+                    "flit": flit_index,
+                },
+            )
         if msg.is_tail(flit_index):
             self._drop_sendable(vc)
             self._work -= 1
@@ -351,6 +406,18 @@ class WormholeRouter:
             else:
                 ports = self.routing.candidates(self.router_id, msg.dst_node)
             vc.route_port = self._select_output_port(clock, ports)
+            if self.trace is not None:
+                self.trace.on_event(
+                    "route",
+                    clock,
+                    {
+                        "router": self.router_id,
+                        "port": vc.port,
+                        "vc": vc.index,
+                        "msg": msg.msg_id,
+                        "out": vc.route_port,
+                    },
+                )
         escape_only = (
             self._adaptive
             and msg.detoured is not None
@@ -359,6 +426,17 @@ class WormholeRouter:
         ovc = self._arbitrate_output_vc(clock, vc.route_port, msg, escape_only)
         if ovc is None:
             return False
+        if self.trace is not None:
+            self.trace.on_event(
+                "vc_alloc",
+                clock,
+                {
+                    "router": self.router_id,
+                    "port": ovc.port,
+                    "vc": ovc.index,
+                    "msg": msg.msg_id,
+                },
+            )
         vc.route_vc = ovc
         vc.ready_at = clock + self.config.arbitration_delay
         if vc.front_has_flit:

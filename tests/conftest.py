@@ -9,7 +9,7 @@ from repro.experiments.config import SingleSwitchExperiment
 from repro.experiments.runner import simulate_single_switch
 from repro.metrics.collector import MetricsCollector
 from repro.network.network import Network
-from repro.network.topology import single_switch
+from repro.network.topology import fat_mesh, single_switch
 from repro.router.config import RouterConfig
 from repro.router.flit import Message, TrafficClass
 from repro.sim.rng import RngStreams
@@ -36,9 +36,14 @@ def make_network(
     crossbar: str = "multiplexed",
     rt_vc_count=None,
     on_message=None,
+    trace_sink=None,
     **config_kwargs,
 ) -> Network:
-    """A small single-switch network for direct flit-level tests."""
+    """A small single-switch network for direct flit-level tests.
+
+    ``trace_sink`` installs an observability sink (see ``repro.obs``)
+    on every component before the network is returned.
+    """
     config = RouterConfig(
         num_ports=ports,
         vcs_per_pc=vcs,
@@ -48,7 +53,52 @@ def make_network(
         rt_vc_count=rt_vc_count,
         **config_kwargs,
     )
-    return Network(single_switch(ports), config, on_message=on_message)
+    network = Network(single_switch(ports), config, on_message=on_message)
+    if trace_sink is not None:
+        from repro.obs import install_tracing
+
+        install_tracing(network, trace_sink)
+    return network
+
+
+def make_mesh_network(
+    rows: int = 2,
+    cols: int = 2,
+    hosts_per_router: int = 1,
+    fat_width: int = 2,
+    vcs: int = 4,
+    depth: int = 4,
+    policy: str = SchedulingPolicy.VIRTUAL_CLOCK,
+    rt_vc_count=2,
+    on_message=None,
+    trace_sink=None,
+    **config_kwargs,
+):
+    """A small fat-mesh network; returns ``(network, topology)``.
+
+    The fault/failover/health tests all exercise the same 2x2 fat mesh;
+    build it here instead of re-deriving the RouterConfig by hand.
+    """
+    topology = fat_mesh(
+        rows=rows,
+        cols=cols,
+        hosts_per_router=hosts_per_router,
+        fat_width=fat_width,
+    )
+    config = RouterConfig(
+        num_ports=topology.ports_per_router,
+        vcs_per_pc=vcs,
+        flit_buffer_depth=depth,
+        qos_policy=policy,
+        rt_vc_count=rt_vc_count,
+        **config_kwargs,
+    )
+    network = Network(topology, config, on_message=on_message)
+    if trace_sink is not None:
+        from repro.obs import install_tracing
+
+        install_tracing(network, trace_sink)
+    return network, topology
 
 
 def make_message(

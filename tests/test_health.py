@@ -4,10 +4,9 @@ import dataclasses
 
 import pytest
 
-from conftest import TINY, make_message
+from conftest import TINY, make_mesh_network, make_message
 
 from repro.core.admission import AdmissionController
-from repro.core.schedulers import SchedulingPolicy
 from repro.errors import ConfigurationError, FaultConfigError
 from repro.experiments.config import FatMeshExperiment, SingleSwitchExperiment
 from repro.experiments.failover import _fat_pair_windows
@@ -27,9 +26,7 @@ from repro.network.health import (
     LinkHealth,
     install_health,
 )
-from repro.network.network import Network
-from repro.network.topology import fat_mesh
-from repro.router.config import RouterConfig, RoutingMode
+from repro.router.config import RoutingMode
 from repro.sim.rng import RngStreams
 
 
@@ -39,6 +36,7 @@ class _StubMonitor:
     def __init__(self, config=None):
         self.config = config or HealthConfig()
         self.events = []
+        self.trace = None
 
     def _on_down(self, health, clock):
         self.events.append(("down", clock))
@@ -61,17 +59,8 @@ def _health(config=None):
     return LinkHealth(_StubLink(), ("link", 0, 4), monitor), monitor
 
 
-def _mesh_network(**config_kwargs):
-    topology = fat_mesh(rows=2, cols=2, hosts_per_router=1, fat_width=2)
-    config = RouterConfig(
-        num_ports=topology.ports_per_router,
-        vcs_per_pc=4,
-        flit_buffer_depth=4,
-        qos_policy=SchedulingPolicy.VIRTUAL_CLOCK,
-        rt_vc_count=2,
-        **config_kwargs,
-    )
-    return Network(topology, config), topology
+#: the shared 2x2 fat-mesh builder now lives in conftest
+_mesh_network = make_mesh_network
 
 
 class TestHealthConfig:
@@ -273,18 +262,8 @@ class TestFailoverEndToEnd:
 class TestRequeueStuckWorms:
     def test_requeue_redelivers_the_worm(self):
         delivered = []
-        topology = fat_mesh(rows=2, cols=2, hosts_per_router=1, fat_width=2)
-        config = RouterConfig(
-            num_ports=topology.ports_per_router,
-            vcs_per_pc=4,
-            flit_buffer_depth=4,
-            qos_policy=SchedulingPolicy.VIRTUAL_CLOCK,
-            rt_vc_count=2,
-        )
-        network = Network(
-            topology,
-            config,
-            on_message=lambda msg, clock: delivered.append(msg),
+        network, topology = make_mesh_network(
+            on_message=lambda msg, clock: delivered.append(msg)
         )
         dst = next(node for node, rid, _ in topology.hosts if rid == 1)
         # a long, slow worm: occupies its route for thousands of cycles
