@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage bench bench-default bench-smoke repro faults-smoke failover-smoke trace-smoke examples clean
+.PHONY: install test lint coverage bench bench-default bench-smoke repro faults-smoke failover-smoke trace-smoke examples clean
 
 # conservative floor just under the suite's measured line coverage of
 # src/repro; ratchet upward as coverage grows, never downward
@@ -13,6 +13,11 @@ install:
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:             ## ruff check (lint + import sort) over src and tests
+	@command -v ruff >/dev/null 2>&1 \
+		|| { echo "ruff not installed (pip install -e .[dev]); skipping"; exit 0; } \
+		&& ruff check src tests benchmarks examples
 
 coverage:         ## tier-1 suite under the line-coverage gate
 	@$(PYTHON) -c "import pytest_cov" 2>/dev/null \
@@ -29,7 +34,7 @@ bench-default:    ## the EXPERIMENTS.md setting (slow)
 
 bench-smoke:      ## core-engine bench: active vs legacy loop, serial vs pool
 	$(PYTHON) -m repro.experiments.bench_core --profile quick --jobs 2 \
-		--out BENCH_core.json
+		--min-speedup 1.0 --out BENCH_core.json --history BENCH_history.jsonl
 
 repro:            ## regenerate every figure/table at the default profile
 	$(PYTHON) -m repro.experiments.cli all --profile default

@@ -40,6 +40,11 @@ class MuxScheduler:
 
     #: policy name, overridden by subclasses
     policy = SchedulingPolicy.FIFO
+    #: True when select() carries no state between calls, so callers may
+    #: skip it entirely when only one candidate exists (the router and
+    #: NI single-candidate fast paths).  Round-robin rotates on every
+    #: grant and must see even single-candidate selections.
+    stateless_select = True
 
     def stamp(self, clock: int, state: VirtualClockState) -> float:
         """Stamp an arriving flit.  FIFO stamps with the arrival time."""
@@ -88,6 +93,7 @@ class RoundRobinScheduler(MuxScheduler):
     """
 
     policy = SchedulingPolicy.ROUND_ROBIN
+    stateless_select = False
 
     def __init__(self) -> None:
         self._last = -1

@@ -18,6 +18,17 @@ class FaultConfigError(ConfigurationError):
     """A fault-injection plan is inconsistent or names unknown hardware."""
 
 
+class PortCountError(ConfigurationError):
+    """RouterConfig.num_ports disagrees with the topology's port count.
+
+    Every router port is wired at network construction, so a mismatched
+    ``num_ports`` silently over- or under-provisions VC buffers and
+    skews per-port metrics.  The network refuses the pair instead of
+    adapting; build the config with
+    ``num_ports=topology.ports_per_router``.
+    """
+
+
 class SimulationError(ReproError):
     """The simulation reached an internally inconsistent state."""
 

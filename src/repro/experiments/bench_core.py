@@ -1,26 +1,32 @@
 """Core-engine benchmark: active-set loop and parallel sweep scaling.
 
 Measures the two performance claims this repo's simulation core makes,
-and writes them to ``BENCH_core.json`` so CI can archive the numbers:
+writes them to ``BENCH_core.json`` for CI to archive, and appends every
+run (with provenance) to ``BENCH_history.jsonl`` so the perf trajectory
+is tracked across commits:
 
-* **single point** — one fig3 operating point run twice in-process,
-  once with the active-set run loop and once with the legacy
-  full-scan loop (``REPRO_LEGACY_LOOP=1``).  The two runs must produce
-  bit-identical metrics; the wall-clock ratio is recorded (the
-  active-set loop wins on sparse/idle traffic and roughly ties on the
-  small saturated topologies benchmarked here).
+* **loop comparison** — a two-point workload run twice in-process,
+  once with the active-set run loop and once with the legacy full-scan
+  loop (``REPRO_LEGACY_LOOP=1``).  The points bracket the loop's
+  operating envelope: a *dense* fig3 single-switch at load 0.8 (every
+  component busy — the active set machinery must roughly tie) and a
+  *sparse* 16x16 fat mesh at one stream per host (hundreds of mostly
+  idle components — where skipping the full scan is the whole point).
+  The combined speedup is ``sum(legacy_s) / sum(active_s)``.  Metrics
+  must be bit-identical per point; this doubles as a golden-run check
+  on real workloads.
 * **sweep scaling** — the fig3 load sweep executed serially and with a
   process pool (``--jobs N``).  Per-point metrics must again be
   bit-identical; the speedup is recorded and is the number the
   acceptance bar (>= 1.5x on 4 cores) reads.
 
-Any metric mismatch exits non-zero — this doubles as a golden-run
-check on real workloads.
+Any metric mismatch exits non-zero, as does a combined loop speedup
+below ``--min-speedup`` (the CI regression gate).
 
 Usage::
 
     python -m repro.experiments.bench_core --profile quick --jobs 4 \
-        --out BENCH_core.json
+        --min-speedup 1.0 --out BENCH_core.json
 """
 
 from __future__ import annotations
@@ -28,66 +34,148 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import math
 import os
+import platform
+import subprocess
 import sys
 import time
+from datetime import datetime, timezone
 from typing import Dict, List, Optional
 
 from repro.core.schedulers import SchedulingPolicy
-from repro.experiments.config import SingleSwitchExperiment
+from repro.experiments.config import FatMeshExperiment, SingleSwitchExperiment
 from repro.experiments.figures import (
     DEFAULT_LOADS,
     _base_kwargs,
     get_profile,
 )
 from repro.experiments.parallel import ParallelSweepExecutor, SweepTask
-from repro.experiments.runner import simulate_single_switch
+from repro.experiments.runner import simulate_fat_mesh, simulate_single_switch
 
-FORMAT = "bench-core-v1"
+FORMAT = "bench-core-v2"
 
-#: the single-point experiment: fig3's Virtual Clock router at load 0.8
-SINGLE_POINT_LOAD = 0.8
+#: the dense loop point: fig3's Virtual Clock router at load 0.8
+DENSE_POINT_LOAD = 0.8
+#: the sparse loop point: one real-time stream per host on a 16x16 mesh
+SPARSE_POINT_LOAD = 0.01
+
+
+def _canon(value):
+    """Make metrics comparable: NaN != NaN, so map it to a sentinel.
+
+    Latency stats are NaN when a class saw no traffic (e.g. a 100/0 mix
+    has no best-effort frames); both loops produce the same NaN and that
+    must count as identical.
+    """
+    if isinstance(value, float) and math.isnan(value):
+        return "nan"
+    if isinstance(value, dict):
+        return {key: _canon(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canon(item) for item in value]
+    return value
 
 
 def _metrics_dict(result) -> Dict:
-    return dataclasses.asdict(result.metrics)
+    return _canon(dataclasses.asdict(result.metrics))
 
 
-def _single_point(profile) -> Dict:
-    """Active-set vs legacy loop on one fig3 point, in-process.
+def _loop_points(profile):
+    """The loop-comparison workload points (name, runner, experiment).
+
+    Frame counts are fixed per point (not taken from the profile) so
+    the dense and sparse contributions stay comparably weighted; the
+    profile still supplies the workload scale and base seed.
+    """
+    return [
+        (
+            "fig3_dense",
+            simulate_single_switch,
+            SingleSwitchExperiment(
+                load=DENSE_POINT_LOAD,
+                mix=(80, 20),
+                scheduler=SchedulingPolicy.VIRTUAL_CLOCK,
+                vcs_per_pc=16,
+                scale=profile.scale,
+                warmup_frames=1,
+                measure_frames=1,
+                seed=profile.seed,
+            ),
+        ),
+        (
+            "fatmesh_sparse",
+            simulate_fat_mesh,
+            FatMeshExperiment(
+                rows=16,
+                cols=16,
+                hosts_per_router=1,
+                fat_width=1,
+                load=SPARSE_POINT_LOAD,
+                mix=(100, 0),
+                scheduler=SchedulingPolicy.VIRTUAL_CLOCK,
+                vcs_per_pc=4,
+                scale=profile.scale,
+                warmup_frames=1,
+                measure_frames=3,
+                seed=11,
+            ),
+        ),
+    ]
+
+
+def _loop_compare(profile) -> Dict:
+    """Active-set vs legacy loop over the bracket points, in-process.
 
     The loop choice is read from ``REPRO_LEGACY_LOOP`` when the Network
-    is constructed, so toggling the variable between the two
-    ``simulate_single_switch`` calls selects the loop per run.
+    is constructed, so toggling the variable between the two runner
+    calls selects the loop per run.
     """
-    experiment = SingleSwitchExperiment(
-        load=SINGLE_POINT_LOAD,
-        mix=(80, 20),
-        scheduler=SchedulingPolicy.VIRTUAL_CLOCK,
-        vcs_per_pc=16,
-        **_base_kwargs(profile),
-    )
     saved = os.environ.pop("REPRO_LEGACY_LOOP", None)
+    points = []
+    total_active = 0.0
+    total_legacy = 0.0
+    identical = True
     try:
-        started = time.perf_counter()
-        active = simulate_single_switch(experiment)
-        active_s = time.perf_counter() - started
+        for name, runner, experiment in _loop_points(profile):
+            os.environ.pop("REPRO_LEGACY_LOOP", None)
+            started = time.perf_counter()
+            active = runner(experiment)
+            active_s = time.perf_counter() - started
 
-        os.environ["REPRO_LEGACY_LOOP"] = "1"
-        started = time.perf_counter()
-        legacy = simulate_single_switch(experiment)
-        legacy_s = time.perf_counter() - started
+            os.environ["REPRO_LEGACY_LOOP"] = "1"
+            started = time.perf_counter()
+            legacy = runner(experiment)
+            legacy_s = time.perf_counter() - started
+
+            point_identical = _metrics_dict(active) == _metrics_dict(legacy)
+            identical = identical and point_identical
+            total_active += active_s
+            total_legacy += legacy_s
+            points.append(
+                {
+                    "name": name,
+                    "active_s": round(active_s, 3),
+                    "legacy_s": round(legacy_s, 3),
+                    "speedup": (
+                        round(legacy_s / active_s, 3) if active_s else None
+                    ),
+                    "identical": point_identical,
+                }
+            )
     finally:
         if saved is None:
             os.environ.pop("REPRO_LEGACY_LOOP", None)
         else:
             os.environ["REPRO_LEGACY_LOOP"] = saved
     return {
-        "load": SINGLE_POINT_LOAD,
-        "active_s": round(active_s, 3),
-        "legacy_s": round(legacy_s, 3),
-        "speedup": round(legacy_s / active_s, 3) if active_s else None,
-        "identical": _metrics_dict(active) == _metrics_dict(legacy),
+        "points": points,
+        "active_s": round(total_active, 3),
+        "legacy_s": round(total_legacy, 3),
+        "speedup": (
+            round(total_legacy / total_active, 3) if total_active else None
+        ),
+        "identical": identical,
     }
 
 
@@ -132,6 +220,33 @@ def _sweep_scaling(profile, jobs: int) -> Dict:
     }
 
 
+def _provenance() -> Dict:
+    """Git SHA, UTC timestamp, and interpreter version for the record."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        sha = ""
+    return {
+        "git_sha": sha or "unknown",
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+    }
+
+
+def _append_history(path: str, record: Dict) -> None:
+    """Append one JSON line per bench run (the perf trajectory log)."""
+    with open(path, "a") as handle:
+        json.dump(record, handle, separators=(",", ":"), sort_keys=True)
+        handle.write("\n")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="bench_core",
@@ -144,18 +259,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=4,
         help="pool size for the sweep-scaling measurement",
     )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.0,
+        help="fail (exit non-zero) when the combined active/legacy loop "
+        "speedup drops below this floor (0 disables the gate)",
+    )
     parser.add_argument("--out", default="BENCH_core.json")
+    parser.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        help="JSONL file each run is appended to (empty string disables)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 2:
         parser.error("--jobs must be >= 2 (scaling needs a pool)")
 
     profile = get_profile(args.profile)
-    print(f"[bench_core] single point (load {SINGLE_POINT_LOAD:g}) ...")
-    single = _single_point(profile)
+    print("[bench_core] loop comparison (dense + sparse points) ...")
+    loop = _loop_compare(profile)
+    for point in loop["points"]:
+        print(
+            f"[bench_core]   {point['name']}: active {point['active_s']}s, "
+            f"legacy {point['legacy_s']}s (x{point['speedup']}, "
+            f"identical={point['identical']})"
+        )
     print(
-        f"[bench_core] active {single['active_s']}s, "
-        f"legacy {single['legacy_s']}s "
-        f"(x{single['speedup']}, identical={single['identical']})"
+        f"[bench_core] combined: active {loop['active_s']}s, "
+        f"legacy {loop['legacy_s']}s "
+        f"(x{loop['speedup']}, identical={loop['identical']})"
     )
     print(f"[bench_core] fig3 sweep, --jobs {args.jobs} ...")
     sweep = _sweep_scaling(profile, args.jobs)
@@ -175,15 +308,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "format": FORMAT,
         "profile": profile.name,
         "cpu_count": cpus,
-        "single_point": single,
+        "provenance": _provenance(),
+        "loop": loop,
         "sweep": sweep,
     }
     with open(args.out, "w") as handle:
         json.dump(record, handle, indent=2)
         handle.write("\n")
     print(f"[bench_core] wrote {args.out}")
+    if args.history:
+        _append_history(args.history, record)
+        print(f"[bench_core] appended to {args.history}")
 
-    if not single["identical"]:
+    if not loop["identical"]:
         print(
             "[bench_core] FAIL: active-set metrics diverge from the "
             "legacy loop",
@@ -194,6 +331,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             "[bench_core] FAIL: pooled sweep metrics diverge from the "
             "serial sweep",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_speedup and (
+        loop["speedup"] is None or loop["speedup"] < args.min_speedup
+    ):
+        print(
+            f"[bench_core] FAIL: loop speedup {loop['speedup']} below the "
+            f"--min-speedup floor {args.min_speedup}",
             file=sys.stderr,
         )
         return 1

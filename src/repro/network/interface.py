@@ -48,6 +48,20 @@ class _NIVC:
 class HostInterface:
     """Traffic injection point for one host (endpoint) node."""
 
+    __slots__ = (
+        "node_id",
+        "link",
+        "vcs",
+        "scheduler",
+        "_stateless",
+        "_active",
+        "flits_injected",
+        "messages_injected",
+        "on_start",
+        "on_activated",
+        "trace",
+    )
+
     def __init__(
         self,
         node_id: int,
@@ -62,6 +76,10 @@ class HostInterface:
             _NIVC(i, buffer_depth) for i in range(vcs_per_pc)
         ]
         self.scheduler: MuxScheduler = make_scheduler(policy)
+        #: True when the mux policy's select() carries no state, which
+        #: allows the single-backlogged-VC fast path in :meth:`step`
+        #: (round-robin must rotate even with one candidate)
+        self._stateless = self.scheduler.stateless_select
         self._active: set = set()
         #: total flits accepted for injection (metrics/audit)
         self.flits_injected = 0
@@ -114,20 +132,38 @@ class HostInterface:
             vc.head_stamp = self.scheduler.stamp(msg.inject_time, vc.vstate)
         return vc.head_stamp
 
-    def step(self, clock: int) -> None:
-        """Send at most one flit onto the host link this cycle."""
-        if not self._active:
-            return
-        candidates = []
+    def step(self, clock: int) -> int:
+        """Component protocol: send at most one flit onto the host link.
+
+        Returns the NI's activity — non-zero while messages remain
+        queued, zero once the backlog drained (the dispatch loop then
+        drops the NI from the active set until :meth:`inject` fires
+        ``on_activated`` again).
+        """
+        active = self._active
+        if not active:
+            return 0
         vcs = self.vcs
-        for index in self._active:
-            vc = vcs[index]
-            if vc.credits > 0:
-                candidates.append((self._ensure_stamp(vc), index))
-        if not candidates:
-            return
-        chosen = self.scheduler.select(candidates)
-        vc = vcs[chosen]
+        if len(active) == 1 and self._stateless:
+            # One backlogged VC and a stateless selector: nothing to
+            # arbitrate.  The stamp is still computed (lazily, once per
+            # flit) because Virtual Clock stamping advances the VC's
+            # auxVC register.
+            chosen = next(iter(active))
+            vc = vcs[chosen]
+            if vc.credits <= 0:
+                return 1
+            self._ensure_stamp(vc)
+        else:
+            candidates = []
+            for index in active:
+                vc = vcs[index]
+                if vc.credits > 0:
+                    candidates.append((self._ensure_stamp(vc), index))
+            if not candidates:
+                return 1
+            chosen = self.scheduler.select(candidates)
+            vc = vcs[chosen]
         msg = vc.queue[0]
         flit_index = vc.sent
         vc.credits -= 1
@@ -149,13 +185,14 @@ class HostInterface:
             )
         if flit_index == 0 and self.on_start is not None:
             self.on_start(msg, clock)
-        if flit_index == msg.size - 1:
+        if flit_index == msg.last_flit:
             vc.queue.popleft()
             vc.vstate.close()
             if vc.queue:
                 self._open_head(vc)
             else:
-                self._active.discard(chosen)
+                active.discard(chosen)
+        return 1 if active else 0
 
     def purge_message(self, msg: Message) -> int:
         """Drop a killed message's untransmitted flits (preemption).
@@ -214,6 +251,17 @@ class HostSink:
     them and reports tail-flit deliveries.
     """
 
+    __slots__ = (
+        "node_id",
+        "on_message",
+        "on_flit",
+        "on_corrupt",
+        "flits_ejected",
+        "messages_ejected",
+        "messages_corrupt",
+        "trace",
+    )
+
     def __init__(
         self,
         node_id: int,
@@ -233,9 +281,18 @@ class HostSink:
         #: trace sink installed by repro.obs.install_tracing
         self.trace = None
 
+    def step(self, clock: int) -> int:
+        """Component protocol: sinks are passive consumers, never active."""
+        return 0
+
+    def next_due(self, clock: int) -> Optional[int]:
+        """Component protocol: a sink never needs a step of its own."""
+        return None
+
     def eject(self, clock: int, msg: Message, flit_index: int) -> None:
         """Consume one flit; fire callbacks on tails."""
         self.flits_ejected += 1
+        tail = flit_index == msg.last_flit
         if self.trace is not None:
             self.trace.on_event(
                 "flit_eject",
@@ -244,12 +301,12 @@ class HostSink:
                     "node": self.node_id,
                     "msg": msg.msg_id,
                     "flit": flit_index,
-                    "tail": msg.is_tail(flit_index),
+                    "tail": tail,
                 },
             )
         if self.on_flit is not None:
             self.on_flit(1)
-        if msg.is_tail(flit_index):
+        if tail:
             if msg.dst_node != self.node_id:
                 raise FlowControlError(
                     f"message {msg.msg_id} for node {msg.dst_node} ejected "

@@ -74,9 +74,11 @@ class Link:
         self.src_port = -1
         #: in-flight flits: (arrival_cycle, msg, flit_index, vc_index)
         self.pending: Deque[Tuple[int, Message, int, int]] = deque()
-        #: activation hook ``on_wake(arrival_cycle)`` installed by the
-        #: network so the active-set loop learns when this link next
-        #: needs service (None when the link is driven manually)
+        #: no-argument activation hook fired when the wire transitions
+        #: from empty to non-empty; installed by the network so the
+        #: dispatch loop starts stepping this link (None when the link
+        #: is driven manually).  Firing only on the transition — not per
+        #: flit — keeps a streaming worm's sends hook-free.
         self.on_wake = None
         #: trace sink installed by repro.obs.install_tracing
         self.trace = None
@@ -84,9 +86,10 @@ class Link:
     def send(self, clock: int, msg: Message, flit_index: int, vc_index: int) -> None:
         """Put one flit on the wire at cycle ``clock``."""
         arrival = clock + self.latency
-        self.pending.append((arrival, msg, flit_index, vc_index))
-        if self.on_wake is not None:
-            self.on_wake(arrival)
+        pending = self.pending
+        if not pending and self.on_wake is not None:
+            self.on_wake()
+        pending.append((arrival, msg, flit_index, vc_index))
         if self.trace is not None:
             self.trace.on_event(
                 "link_tx",
@@ -99,6 +102,28 @@ class Link:
                     "arrive": arrival,
                 },
             )
+
+    def step(self, clock: int) -> int:
+        """Component protocol: deliver due flits; activity = flits handed over.
+
+        A link stays in the dispatch loop's active set while
+        :attr:`pending` is non-empty (the loop checks it directly on
+        the hot path); a spurious step with nothing due is a no-op.
+        """
+        pending = self.pending
+        if pending and pending[0][0] <= clock:
+            return self.deliver_due(clock)
+        return 0
+
+    def next_due(self, clock: int) -> Optional[int]:
+        """Component protocol: earliest arrival cycle, or ``None``.
+
+        Unlike NIs and routers, a link knows its future exactly, which
+        is what lets the dispatch loop jump the clock over idle spans.
+        """
+        if not self.pending:
+            return None
+        return self.pending[0][0]
 
     def deliver_due(self, clock: int) -> int:
         """Hand over every flit whose latency has elapsed.

@@ -18,12 +18,16 @@ from __future__ import annotations
 
 import logging
 import os
-from dataclasses import replace
 from functools import partial
 from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
-from repro.errors import ConfigurationError, DeadlockError, SimulationError
+from repro.errors import (
+    ConfigurationError,
+    DeadlockError,
+    PortCountError,
+    SimulationError,
+)
 from repro.network.interface import HostInterface, HostSink
 from repro.network.link import DEFAULT_LINK_LATENCY, Link
 from repro.network.topology import Topology
@@ -49,15 +53,12 @@ class Network:
     ) -> None:
         self.topology = topology
         if config.num_ports != topology.ports_per_router:
-            logger.warning(
-                "config.num_ports=%d does not match the topology's "
-                "ports_per_router=%d; adapting the router config to the "
-                "topology (pass num_ports=%d to silence this)",
-                config.num_ports,
-                topology.ports_per_router,
-                topology.ports_per_router,
+            raise PortCountError(
+                f"config.num_ports={config.num_ports} does not match the "
+                f"topology's ports_per_router={topology.ports_per_router}; "
+                f"build the config with "
+                f"num_ports={topology.ports_per_router}"
             )
-            config = replace(config, num_ports=topology.ports_per_router)
         self.config = config
         self.clock = 0
         self.events = EventHeap()
@@ -111,25 +112,28 @@ class Network:
 
         #: original full-scan loop fallback (read once, at construction)
         self._legacy_loop = os.environ.get("REPRO_LEGACY_LOOP", "") == "1"
-        # Activation schedulers, one per component kind.  Ids follow the
-        # legacy loop's iteration order (link list index, NI wiring
-        # order, router id) so sorted active subsets replay the legacy
-        # order exactly — the bit-identical contract.
+        # Activation schedulers, one per component kind — kept separate
+        # because the dispatch order (links, then NIs, then routers)
+        # must let a link delivery activate its destination router
+        # within the same cycle.  Registration ids follow the legacy
+        # loop's iteration order (link list index, NI wiring order,
+        # router id) so sorted active subsets replay the legacy order
+        # exactly — the bit-identical contract.  Every component's
+        # activation hook is a bound ``activate`` call; sinks are
+        # passive and never register (see repro.sim.component).
         self._link_sched = ActivationScheduler()
         self._ni_sched = ActivationScheduler()
         self._router_sched = ActivationScheduler()
         self._ni_list: List[HostInterface] = list(self.interfaces.values())
-        #: per-link wake closures, installed as ``Link.on_wake`` while
-        #: the link is cold and *removed* while it is hot (a hot link is
-        #: visited every cycle, so per-flit wake calls would be waste)
-        self._link_wakers: List[Callable[[int], None]] = [
-            partial(self._link_sched.wake_at, index)
-            for index in range(len(self.links))
-        ]
-        for index, link in enumerate(self.links):
-            link.on_wake = self._link_wakers[index]
-        for index, ni in enumerate(self._ni_list):
-            ni.on_activated = partial(self._ni_sched.activate, index)
+        for link in self.links:
+            cid = self._link_sched.register(link)
+            link.on_wake = partial(self._link_sched.activate, cid)
+        for ni in self._ni_list:
+            cid = self._ni_sched.register(ni)
+            ni.on_activated = partial(self._ni_sched.activate, cid)
+        for router in self.routers:
+            cid = self._router_sched.register(router)
+            router.on_activated = partial(self._router_sched.activate, cid)
 
     # ------------------------------------------------------------------
     # construction
@@ -307,13 +311,10 @@ class Network:
             else:
                 self._router_sched.activate(router.router_id)
         for index, link in enumerate(self.links):
-            arrival = link.next_arrival()
-            if arrival is None:
-                if self._link_sched.is_active(index):
-                    self._link_sched.deactivate(index)
-                    link.on_wake = self._link_wakers[index]
-            elif not self._link_sched.is_active(index):
-                self._link_sched.wake_at(index, arrival)
+            if link.pending:
+                self._link_sched.activate(index)
+            else:
+                self._link_sched.deactivate(index)
 
     def _preempt(self, victim: Message) -> None:
         """Router hook: kill ``victim`` and schedule its retransmission."""
@@ -426,39 +427,34 @@ class Network:
             return self._run_legacy(until)
         clock = self.clock
         events = self.events
-        links = self.links
-        interfaces = self._ni_list
-        routers = self.routers
         link_sched = self._link_sched
         ni_sched = self._ni_sched
         router_sched = self._router_sched
-        # Hot-path friend access: the per-cycle loop below touches these
-        # sets directly (membership tests and the jump predicate) to
-        # avoid method-call overhead; all *mutations* still go through
-        # the scheduler API so its memoised order stays valid.
-        link_active = link_sched._active
+        links = link_sched.components
+        interfaces = ni_sched.components
+        routers = router_sched.components
+        # Hot-path friend access: the jump predicate reads the raw
+        # active sets directly to avoid method-call overhead; all
+        # *mutations* still go through the scheduler API so its
+        # memoised order stays valid.
         ni_active = ni_sched._active
         router_active = router_sched._active
-        link_wakers = self._link_wakers
         watchdog = self.watchdog_window
         profiler = self.profiler
         stall_clock = max(self._stall_clock, clock - 1)
         while clock < until:
             if not (ni_active or router_active):
                 # Nothing is runnable every-cycle; jump to the earliest
-                # timed activity (a link arrival or a scheduled event).
-                # Hot links are demoted to timed wakes first so their
-                # next delivery is visible to the jump computation.
-                for index in link_sched.drain_active():
-                    link = links[index]
-                    link.on_wake = link_wakers[index]
-                    arrival = link.next_arrival()
-                    if arrival is not None:
-                        link_sched.wake_at(index, arrival)
+                # timed activity.  Active links know their next arrival
+                # exactly (the head of their in-flight deque), so the
+                # jump target is the min over those and the event heap.
                 nxt = events.next_time()
-                wake = link_sched.next_time()
-                if wake is not None and (nxt is None or wake < nxt):
-                    nxt = wake
+                for index in link_sched.active_ids():
+                    pending = links[index].pending
+                    if pending:
+                        arrival = pending[0][0]
+                        if nxt is None or arrival < nxt:
+                            nxt = arrival
                 if nxt is None:
                     if self._flits_in_flight == 0:
                         clock = until
@@ -496,50 +492,33 @@ class Network:
                 t1 = perf_counter()
                 profiler.events_s += t1 - t0
             progress = 0
+            # Phase 1: links.  A delivery that gives an idle router work
+            # fires router.on_activated, so the router phase below sees
+            # it this same cycle — the reason the three kinds keep
+            # separate schedulers instead of one fused due list.
             for index in link_sched.due(clock):
                 link = links[index]
                 pending = link.pending
                 if not pending:
-                    if index in link_active:
-                        link_sched.deactivate(index)
-                        link.on_wake = link_wakers[index]
-                    continue
-                if pending[0][0] > clock:
-                    # Spurious wake (head not due yet — sender paused or
-                    # flits were purged); go back to a timed wake.
-                    if index in link_active:
-                        link_sched.deactivate(index)
-                        link.on_wake = link_wakers[index]
-                    link_sched.wake_at(index, pending[0][0])
-                    continue
-                progress += link.deliver_due(clock)
-                if link.pending:
-                    # Still streaming: keep the link hot (visited every
-                    # cycle, no per-flit wake or heap traffic).
-                    if index not in link_active:
-                        link_sched.activate(index)
-                        link.on_wake = None
-                elif index in link_active:
+                    # Emptied behind our back (purge); drop from the set.
                     link_sched.deactivate(index)
-                    link.on_wake = link_wakers[index]
-                router = link.dest_router
-                if router is not None and router._work:
-                    rid = router.router_id
-                    if rid not in router_active:
-                        router_sched.activate(rid)
+                elif pending[0][0] <= clock:
+                    progress += link.deliver_due(clock)
+                    if not link.pending:
+                        link_sched.deactivate(index)
             if profiler is not None:
                 t2 = perf_counter()
                 profiler.links_s += t2 - t1
+            # Phase 2: host interfaces.
             for index in ni_sched.due(clock):
-                ni = interfaces[index]
-                ni.step(clock)
-                if not ni._active:
+                if not interfaces[index].step(clock):
                     ni_sched.deactivate(index)
             if profiler is not None:
                 t3 = perf_counter()
                 profiler.nis_s += t3 - t2
+            # Phase 3: routers.
             for rid in router_sched.due(clock):
-                if routers[rid].step(clock):
+                if not routers[rid].step(clock):
                     router_sched.deactivate(rid)
             if profiler is not None:
                 profiler.routers_s += perf_counter() - t3
@@ -548,24 +527,31 @@ class Network:
                 if progress or not self._flits_in_flight:
                     stall_clock = clock
                 elif clock - stall_clock >= watchdog:
-                    self._stall_clock = stall_clock
-                    self.clock = clock
-                    raise DeadlockError(
-                        f"no flit delivered for {clock - stall_clock} cycles "
-                        f"(watchdog window {watchdog}) at cycle {clock} with "
-                        f"{self._flits_in_flight} flits in flight\n"
-                        + self.stall_report()
-                    )
+                    self._watchdog_fire(clock, stall_clock, watchdog)
             clock += 1
         self._stall_clock = stall_clock
         self.clock = clock
 
+    def _watchdog_fire(self, clock: int, stall_clock: int, watchdog: int):
+        """Persist loop state and raise the no-progress DeadlockError."""
+        self._stall_clock = stall_clock
+        self.clock = clock
+        raise DeadlockError(
+            f"no flit delivered for {clock - stall_clock} cycles "
+            f"(watchdog window {watchdog}) at cycle {clock} with "
+            f"{self._flits_in_flight} flits in flight\n"
+            + self.stall_report()
+        )
+
     def _run_legacy(self, until: int) -> None:
         """The original full-scan cycle loop (``REPRO_LEGACY_LOOP=1``).
 
-        Visits every link, NI, and router each executed cycle and jumps
-        the clock only when the network is empty.  Kept verbatim as the
-        golden reference the active-set loop is validated against.
+        Thin parity shim: visits every link, NI, and router each
+        executed cycle in wiring order (ignoring the activity sets the
+        components still maintain) and jumps the clock only when the
+        network is empty.  The active-set loop in :meth:`run` is
+        validated bit-identical against this reference by the golden
+        runs in ``tests/test_activation.py``.
         """
         clock = self.clock
         events = self.events
@@ -614,14 +600,7 @@ class Network:
                 if progress or not self._flits_in_flight:
                     stall_clock = clock
                 elif clock - stall_clock >= watchdog:
-                    self._stall_clock = stall_clock
-                    self.clock = clock
-                    raise DeadlockError(
-                        f"no flit delivered for {clock - stall_clock} cycles "
-                        f"(watchdog window {watchdog}) at cycle {clock} with "
-                        f"{self._flits_in_flight} flits in flight\n"
-                        + self.stall_report()
-                    )
+                    self._watchdog_fire(clock, stall_clock, watchdog)
             clock += 1
         self._stall_clock = stall_clock
         self.clock = clock

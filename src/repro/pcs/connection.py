@@ -11,7 +11,7 @@ connections".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
@@ -86,12 +86,16 @@ class ConnectionManager:
             raise SimulationError(f"circuit {circuit_id} already established")
         if not path:
             raise ConfigurationError("circuit path must be non-empty")
+        # Validate before counting or reserving: a malformed path is a
+        # programming error, not a dropped connection, and must not leak
+        # partial reservations or break the attempts identity.
+        for channel in path:
+            if channel not in self._free:
+                raise ConfigurationError(f"unknown channel {channel!r}")
         self.stats.attempts += 1
         taken: List[Tuple[ChannelId, int]] = []
         for channel in path:
-            free = self._free.get(channel)
-            if free is None:
-                raise ConfigurationError(f"unknown channel {channel!r}")
+            free = self._free[channel]
             if not free:
                 for ch, vc in taken:
                     self._free[ch].append(vc)
@@ -117,16 +121,19 @@ class ConnectionManager:
             raise SimulationError(f"circuit {circuit_id} already established")
         if not requests:
             raise ConfigurationError("circuit path must be non-empty")
-        self.stats.attempts += 1
-        taken: List[Tuple[ChannelId, int]] = []
+        # Same pre-validation as probe(): raise on malformed requests
+        # before any attempt is counted or any VC is taken.
         for channel, vc in requests:
-            free = self._free.get(channel)
-            if free is None:
+            if channel not in self._free:
                 raise ConfigurationError(f"unknown channel {channel!r}")
             if not 0 <= vc < self._capacity[channel]:
                 raise ConfigurationError(
                     f"VC {vc} out of range on channel {channel!r}"
                 )
+        self.stats.attempts += 1
+        taken: List[Tuple[ChannelId, int]] = []
+        for channel, vc in requests:
+            free = self._free[channel]
             if vc not in free:
                 for ch, held in taken:
                     self._free[ch].append(held)

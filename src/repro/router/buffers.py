@@ -43,6 +43,33 @@ class _MessageRecord:
         self.header_time = header_time
 
 
+#: freelist of retired _MessageRecord instances.  One record is created
+#: per message per hop (header arrival) and retired when the tail
+#: crosses the crossbar (or the message is purged) — recycling them
+#: keeps the steady-state flit path allocation-free.  The pool's size is
+#: naturally bounded by the high-water mark of concurrently buffered
+#: messages, so it never needs trimming.
+_record_pool: list = []
+
+
+def _record_acquire(msg: Message, header_time: int) -> _MessageRecord:
+    """A fresh or recycled record, fully reinitialised."""
+    if _record_pool:
+        record = _record_pool.pop()
+        record.msg = msg
+        record.arrived = 0
+        record.served = 0
+        record.header_time = header_time
+        return record
+    return _MessageRecord(msg, header_time)
+
+
+def _record_release(record: _MessageRecord) -> None:
+    """Retire a record to the pool, dropping its Message reference."""
+    record.msg = None
+    _record_pool.append(record)
+
+
 class InputVC:
     """One virtual-channel flit buffer at a router input port."""
 
@@ -113,7 +140,7 @@ class InputVC:
 
     def accept_new_message(self, clock: int, msg: Message) -> None:
         """A header flit arrived: start a new message record."""
-        self.messages.append(_MessageRecord(msg, clock))
+        self.messages.append(_record_acquire(msg, clock))
         if len(self.messages) == 1:
             self.head_arrival = clock
             self.route_port = -1
@@ -174,6 +201,7 @@ class InputVC:
                 f"input VC ({self.port},{self.index}) released message "
                 f"{front.msg.msg_id} before its tail was served"
             )
+        _record_release(front)
         self.route_port = -1
         self.route_vc = None
         if self.messages:
@@ -204,6 +232,7 @@ class InputVC:
         del stamps[offset : offset + removed]
         self.stamps = deque(stamps)
         self.buffered -= removed
+        _record_release(self.messages[position])
         del self.messages[position]
         if position == 0:
             self.route_port = -1

@@ -55,6 +55,7 @@ class Message:
         "src_node",
         "dst_node",
         "size",
+        "last_flit",
         "vtick",
         "traffic_class",
         "stream_id",
@@ -92,6 +93,9 @@ class Message:
         self.src_node = src_node
         self.dst_node = dst_node
         self.size = size
+        #: index of the tail flit, precomputed so the per-flit hot paths
+        #: compare against an attribute instead of calling is_tail()
+        self.last_flit = size - 1
         self.vtick = vtick
         self.traffic_class = traffic_class
         self.stream_id = stream_id
@@ -141,7 +145,7 @@ class Message:
 
     def is_tail(self, flit_index: int) -> bool:
         """True if ``flit_index`` names this message's tail flit."""
-        return flit_index == self.size - 1
+        return flit_index == self.last_flit
 
     def is_header(self, flit_index: int) -> bool:
         """True if ``flit_index`` names this message's header flit."""

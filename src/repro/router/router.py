@@ -34,10 +34,9 @@ from typing import Callable, List, Optional, Set
 
 from repro.core.schedulers import (
     MuxScheduler,
-    SchedulingPolicy,
     make_scheduler,
 )
-from repro.errors import FlowControlError, RoutingError
+from repro.errors import FlowControlError
 from repro.router.buffers import InputVC, OutputVC
 from repro.router.config import CrossbarKind, RouterConfig, RoutingMode
 from repro.router.flit import Message
@@ -94,8 +93,32 @@ class WormholeRouter:
             make_scheduler(out_policy) for _ in range(n)
         ]
         self._multiplexed = multiplexed
+        #: stateless-selector flags allow single-candidate fast paths in
+        #: the crossbar mux / stage-5 mux (round-robin must still see
+        #: single-candidate selections to rotate its priority)
+        self._in_stateless = self._in_policy.stateless_select
+        self._out_stateless = self._out_policy.stateless_select
         #: flits put on each output link (utilisation probe)
         self.out_flits: List[int] = [0] * n
+
+        # Hot-path lookup tables derived from the (immutable) config:
+        # per-class VC index tuples, whether each class partition can
+        # spare an escape VC, and the per-cycle stage delays.
+        self._class_vcs = (
+            tuple(config.vc_range_for_class(False)),
+            tuple(config.vc_range_for_class(True)),
+        )
+        self._multi_vc = (
+            len(self._class_vcs[0]) >= 2,
+            len(self._class_vcs[1]) >= 2,
+        )
+        self._routing_delay = config.routing_delay
+        self._arb_delay = config.arbitration_delay
+        #: per-port partition table: _part[port][is_real_time] is the
+        #: (normal, escape_only) pair of VC index tuples.  Rebuilt per
+        #: port by wire_output, since the escape reservation depends on
+        #: is_host_port which is only known at wiring time.
+        self._part = [self._build_port_partition(p) for p in range(n)]
 
         # Activity sets.
         self._pending_arb: List[InputVC] = []
@@ -111,6 +134,10 @@ class WormholeRouter:
         #: optional hook(msg, flit_index) fired when a flit crosses the
         #: crossbar — used by tests and the conservation audit
         self.on_crossbar: Optional[Callable[[Message, int], None]] = None
+        #: activation hook fired when a flit arrival gives an idle
+        #: router work; installed by the network so the dispatch loop
+        #: resumes stepping it (component protocol)
+        self.on_activated: Optional[Callable[[], None]] = None
         #: trace sink installed by repro.obs.install_tracing
         self.trace = None
 
@@ -121,6 +148,25 @@ class WormholeRouter:
         """Attach ``link`` to ``port``; ``host`` marks an ejection port."""
         self.out_links[port] = link
         self.is_host_port[port] = host
+        self._part[port] = self._build_port_partition(port)
+
+    def _build_port_partition(self, port: int):
+        """Precompute the (normal, escape_only) VC tuples per class.
+
+        See :meth:`_partition_indices` for the escape-VC semantics; the
+        table just hoists that decision out of the arbitration loop.
+        """
+        entry = []
+        for indices in self._class_vcs:
+            if (
+                not self._adaptive
+                or self.is_host_port[port]
+                or len(indices) < 2
+            ):
+                entry.append((indices, indices))
+            else:
+                entry.append((indices[:-1], indices[-1:]))
+        return tuple(entry)
 
     # ------------------------------------------------------------------
     # flit ingress (called by links and host interfaces)
@@ -130,6 +176,7 @@ class WormholeRouter:
     ) -> None:
         """Stage-1 arrival: buffer and stamp one flit."""
         vc = self.inputs[port][vc_index]
+        was_idle = not self._work
         if flit_index == 0:
             vc.accept_new_message(clock, msg)
             if len(vc.messages) == 1:
@@ -143,22 +190,29 @@ class WormholeRouter:
                 sendable.add(vc_index)
                 self._in_ports.add(port)
                 self._work += 1
+        if was_idle and self._work and self.on_activated is not None:
+            self.on_activated()
 
     # ------------------------------------------------------------------
     # main per-cycle step
 
-    def step(self, clock: int) -> bool:
+    def step(self, clock: int) -> int:
         """Advance every pipeline stage by one cycle.
 
-        Returns ``True`` when the router is quiescent afterwards — no
-        stage holds work, so the active-set loop may stop stepping it
-        until a flit arrival (:meth:`accept_flit`) re-activates it.
+        Component protocol: returns the router's remaining activity —
+        non-zero while any stage holds work, zero once quiescent (the
+        dispatch loop then stops stepping it until a flit arrival fires
+        :attr:`on_activated`).
         """
         if self._work:
             self._stage5_output(clock)
             self._stage4_crossbar(clock)
             self._stage23_route_arbitrate(clock)
-        return not self._work
+        return self._work
+
+    def next_due(self, clock: int) -> Optional[int]:
+        """Component protocol: a busy router must step every cycle."""
+        return clock if self._work else None
 
     @property
     def quiescent(self) -> bool:
@@ -182,32 +236,50 @@ class WormholeRouter:
     # -- stage 5: output VC multiplexer + link ------------------------
 
     def _stage5_output(self, clock: int) -> None:
-        for port in sorted(self._out_ports):
-            active = self._out_active[port]
-            ovcs = self.outputs[port]
-            candidates = []
-            for index in active:
-                ovc = ovcs[index]
-                if ovc.downstream is None or ovc.credits > 0:
-                    candidates.append((ovc.stamps[0], index))
-            if not candidates:
-                continue
-            chosen = self._out_selectors[port].select(candidates)
-            ovc = ovcs[chosen]
-            if self.trace is not None:
-                self.trace.on_event(
-                    "sched",
-                    clock,
-                    {
-                        "router": self.router_id,
-                        "point": "C",
-                        "port": port,
-                        "policy": self._out_policy.policy,
-                        "vc": chosen,
-                        "stamp": ovc.stamps[0],
-                        "cands": len(candidates),
-                    },
-                )
+        out_ports = self._out_ports
+        out_active = self._out_active
+        outputs = self.outputs
+        trace = self.trace
+        # sorted() both fixes the service order (determinism) and copies
+        # the worklist, which is mutated below; a single busy port needs
+        # neither beyond the copy.
+        if len(out_ports) == 1:
+            ports = (next(iter(out_ports)),)
+        else:
+            ports = sorted(out_ports)
+        for port in ports:
+            active = out_active[port]
+            ovcs = outputs[port]
+            if trace is None and len(active) == 1 and self._out_stateless:
+                # One staged VC, stateless selector: nothing to arbitrate.
+                chosen = next(iter(active))
+                ovc = ovcs[chosen]
+                if ovc.downstream is not None and ovc.credits <= 0:
+                    continue
+            else:
+                candidates = []
+                for index in active:
+                    ovc = ovcs[index]
+                    if ovc.downstream is None or ovc.credits > 0:
+                        candidates.append((ovc.stamps[0], index))
+                if not candidates:
+                    continue
+                chosen = self._out_selectors[port].select(candidates)
+                ovc = ovcs[chosen]
+                if trace is not None:
+                    trace.on_event(
+                        "sched",
+                        clock,
+                        {
+                            "router": self.router_id,
+                            "point": "C",
+                            "port": port,
+                            "policy": self._out_policy.policy,
+                            "vc": chosen,
+                            "stamp": ovc.stamps[0],
+                            "cands": len(candidates),
+                        },
+                    )
             msg, flit_index = ovc.pop_head()
             if ovc.downstream is not None:
                 ovc.credits -= 1
@@ -222,12 +294,12 @@ class WormholeRouter:
             if not ovc.queue:
                 active.discard(chosen)
                 if not active:
-                    self._out_ports.discard(port)
+                    out_ports.discard(port)
                 self._work -= 1
-            if msg.is_tail(flit_index):
+            if flit_index == msg.last_flit:
                 ovc.release()
-                if self.trace is not None:
-                    self.trace.on_event(
+                if trace is not None:
+                    trace.on_event(
                         "vc_release",
                         clock,
                         {
@@ -261,24 +333,43 @@ class WormholeRouter:
         the finite per-VC staging space (contention point B's queue).
         """
         inputs = self.inputs
-        for port in sorted(self._in_ports):
-            sendable = self._sendable[port]
+        in_ports = self._in_ports
+        sendable_sets = self._sendable
+        trace = self.trace
+        if len(in_ports) == 1:
+            ports = (next(iter(in_ports)),)
+        else:
+            ports = sorted(in_ports)
+        for port in ports:
+            sendable = sendable_sets[port]
             if not sendable:
                 continue
             port_vcs = inputs[port]
+            if trace is None and len(sendable) == 1 and self._in_stateless:
+                # One routed VC, stateless selector: check eligibility
+                # and move without building a candidate list.
+                vc = port_vcs[next(iter(sendable))]
+                if vc.ready_at > clock:
+                    continue
+                ovc = vc.route_vc
+                if len(ovc.queue) >= ovc.capacity:
+                    continue
+                self._move_through_crossbar(clock, vc)
+                continue
             candidates = []
             for index in sendable:
                 vc = port_vcs[index]
                 if vc.ready_at > clock:
                     continue
-                if not vc.route_vc.has_space:
+                ovc = vc.route_vc
+                if len(ovc.queue) >= ovc.capacity:
                     continue
                 candidates.append((vc.stamps[0], index))
             if not candidates:
                 continue
             chosen = self._in_selectors[port].select(candidates)
-            if self.trace is not None:
-                self.trace.on_event(
+            if trace is not None:
+                trace.on_event(
                     "sched",
                     clock,
                     {
@@ -295,7 +386,12 @@ class WormholeRouter:
 
     def _crossbar_full(self, clock: int) -> None:
         inputs = self.inputs
-        for port in sorted(self._in_ports):
+        in_ports = self._in_ports
+        if len(in_ports) == 1:
+            ports = (next(iter(in_ports)),)
+        else:
+            ports = sorted(in_ports)
+        for port in ports:
             sendable = self._sendable[port]
             if not sendable:
                 continue
@@ -304,7 +400,8 @@ class WormholeRouter:
                 vc = port_vcs[index]
                 if vc.ready_at > clock:
                     continue
-                if not vc.route_vc.has_space:
+                ovc = vc.route_vc
+                if len(ovc.queue) >= ovc.capacity:
                     continue
                 self._move_through_crossbar(clock, vc)
 
@@ -338,7 +435,7 @@ class WormholeRouter:
                     "flit": flit_index,
                 },
             )
-        if msg.is_tail(flit_index):
+        if flit_index == msg.last_flit:
             self._drop_sendable(vc)
             self._work -= 1
             if vc.release_front():
@@ -382,7 +479,7 @@ class WormholeRouter:
         if msg is None:  # defensive: released while pending
             self._work -= 1
             return True
-        if clock < vc.head_arrival + self.config.routing_delay:
+        if clock < vc.head_arrival + self._routing_delay:
             return False
         if vc.route_port < 0:
             if self._adaptive:
@@ -394,10 +491,7 @@ class WormholeRouter:
                     # with a single VC cannot spare one, so the worm
                     # stays on the (masked) primary route and the
                     # recovery layer owns its fate.
-                    if (
-                        len(self.config.vc_range_for_class(msg.is_real_time))
-                        < 2
-                    ):
+                    if not self._multi_vc[msg.is_real_time]:
                         ports = self.routing.candidates(
                             self.router_id, msg.dst_node
                         )
@@ -438,7 +532,7 @@ class WormholeRouter:
                 },
             )
         vc.route_vc = ovc
-        vc.ready_at = clock + self.config.arbitration_delay
+        vc.ready_at = clock + self._arb_delay
         if vc.front_has_flit:
             sendable = self._sendable[vc.port]
             if vc.index not in sendable:
@@ -498,17 +592,12 @@ class WormholeRouter:
         itself waiting on the dead dimension — the standard escape-
         channel deadlock-freedom argument.  Single-VC partitions have
         nothing to spare; detours are refused there at routing time.
+
+        The actual partition tuples are precomputed per port by
+        :meth:`_build_port_partition`; this accessor just indexes the
+        table (bools index as 0/1).
         """
-        indices = self.config.vc_range_for_class(is_real_time)
-        if (
-            not self._adaptive
-            or self.is_host_port[port]
-            or len(indices) < 2
-        ):
-            return indices
-        if escape_only:
-            return indices[-1:]
-        return indices[:-1]
+        return self._part[port][is_real_time][escape_only]
 
     def _arbitrate_output_vc(
         self, clock: int, port: int, msg: Message, escape_only: bool = False
@@ -551,11 +640,9 @@ class WormholeRouter:
             # (see DESIGN.md, model fidelity notes).
             if msg.is_real_time or self.config.be_dst_vc_binding:
                 return None
-        for index in self._partition_indices(
-            port, msg.is_real_time, escape_only
-        ):
+        for index in self._part[port][msg.is_real_time][escape_only]:
             ovc = ovcs[index]
-            if ovc.is_free:
+            if ovc.owner is None:
                 ovc.grant(clock, msg)
                 return ovc
         if escape_only:
@@ -563,9 +650,9 @@ class WormholeRouter:
             # preempting a normal VC would defeat the reservation.
             return None
         if self.config.dynamic_partitioning and not msg.is_real_time:
-            for index in self._partition_indices(port, True, False):
+            for index in self._part[port][True][False]:
                 ovc = ovcs[index]
-                if ovc.is_free:
+                if ovc.owner is None:
                     ovc.grant(clock, msg)
                     return ovc
         if (
@@ -578,9 +665,9 @@ class WormholeRouter:
                 # the hook kills the victim network-wide (dropping its
                 # remaining flits everywhere) and schedules a retransmit
                 self.on_preempt(victim)
-                for index in self._partition_indices(port, True, False):
+                for index in self._part[port][True][False]:
                     ovc = ovcs[index]
-                    if ovc.is_free:
+                    if ovc.owner is None:
                         ovc.grant(clock, msg)
                         return ovc
         return None
@@ -638,7 +725,7 @@ class WormholeRouter:
 
     def _find_preemption_victim(self, port: int) -> Optional[Message]:
         """A best-effort message squatting on a real-time VC, if any."""
-        for index in self.config.vc_range_for_class(True):
+        for index in self._class_vcs[True]:
             owner = self.outputs[port][index].owner
             if owner is not None and not owner.is_real_time:
                 return owner

@@ -10,78 +10,122 @@ Two activation styles cover every component kind:
 
 * **persistent** — :meth:`activate` / :meth:`deactivate`.  The
   component is runnable every cycle while active (a router with busy
-  VCs, a host interface with queued messages).  Its wake time is
-  implicitly "now".
-* **timed** — :meth:`wake_at`.  A one-shot wake at a known future cycle
-  (a link whose earliest in-flight flit arrives then).  Timed wakes use
-  a lazy-deletion binary heap: re-arming earlier pushes a fresh entry
-  and the stale one is skipped when popped.
+  VCs, a host interface with queued messages, a link with flits on the
+  wire).  Its wake time is implicitly "now".
+* **timed** — :meth:`wake_at`.  A one-shot wake at a known future cycle.
+  Timed wakes are *bucketed by cycle*: arming appends the id to its
+  cycle's bucket and :meth:`due` consumes whole buckets at once, so
+  harvesting N wakes costs one heap pop per distinct cycle instead of
+  one per wake.
+
+The fused dispatch loop (``Network.run``) keeps links persistently
+active while they hold in-flight flits, so in the steady state this
+scheduler does no heap traffic at all — the per-cycle cost is returning
+the memoised sorted active list.
 
 Determinism contract
 --------------------
 
 Components are identified by small integer ids assigned in the same
-order the legacy loop iterated them.  :meth:`due` returns ids in
-ascending order, so an active-set run visits components in exactly the
-legacy order, restricted to the non-no-op subset — which is what makes
-active-set runs bit-identical to the legacy full scan (the golden-run
-regression in ``tests/test_activation.py`` pins this).
+order the legacy loop iterated them (:meth:`register` hands them out in
+registration order).  :meth:`due` returns ids in ascending order, so an
+active-set run visits components in exactly the legacy order,
+restricted to the non-no-op subset — which is what makes active-set
+runs bit-identical to the legacy full scan (the golden-run regression
+in ``tests/test_activation.py`` pins this).
 
 Spurious wakes are harmless by construction: a component stepped with
-nothing due no-ops exactly as it did under the legacy full scan.  A
-*missing* wake, by contrast, would silently change results — hence the
+nothing due no-ops exactly as it did under the legacy full scan (the
+:mod:`repro.sim.component` step protocol requires it).  A *missing*
+wake, by contrast, would silently change results — hence the
 conservative rule that every producer of future work (``Link.send``,
-``HostInterface.inject``, flit arrival at a router) arms its wake at
-the moment the work is created.
+``HostInterface.inject``, flit arrival at a router) activates its
+component at the moment the work is created.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Set, Tuple
+from bisect import insort
+from typing import Dict, List, Optional, Set
 
 
 class ActivationScheduler:
     """Deterministic active-set and wake-time tracker for one component kind."""
 
-    __slots__ = ("_active", "_heap", "_armed", "_cache")
+    __slots__ = (
+        "components",
+        "_active",
+        "_list",
+        "_loaned",
+        "_buckets",
+        "_times",
+        "_armed",
+    )
 
     def __init__(self) -> None:
-        #: ids runnable every cycle until deactivated
+        #: registered components, indexed by id (see :meth:`register`)
+        self.components: List[object] = []
+        #: ids runnable every cycle until deactivated (membership tests)
         self._active: Set[int] = set()
-        #: (time, id) timed wakes; may hold stale entries (lazy deletion)
-        self._heap: List[Tuple[int, int]] = []
+        #: the same ids as a maintained sorted list — the steady-state
+        #: :meth:`due` result.  Mutations use insort/remove instead of
+        #: re-sorting, so an activate/deactivate costs O(n) memmove on a
+        #: short list rather than an O(n log n) sort per transition.
+        self._list: List[int] = []
+        #: True while ``_list`` is loaned out by :meth:`due`; the next
+        #: mutation copies first (copy-on-write), so callers may iterate
+        #: the returned snapshot while activating/deactivating.
+        self._loaned = False
+        #: cycle -> ids armed to wake then (may hold superseded ids)
+        self._buckets: Dict[int, List[int]] = {}
+        #: heap of distinct bucket cycles
+        self._times: List[int] = []
         #: id -> earliest armed wake time (the authoritative record)
         self._armed: Dict[int, int] = {}
-        #: memoised ``sorted(self._active)``; None after any mutation.
-        #: At steady state the active set barely changes, so :meth:`due`
-        #: is usually a heap peek plus a cached-list return.
-        self._cache: Optional[List[int]] = None
+
+    # -- registration ---------------------------------------------------
+
+    def register(self, component: object) -> int:
+        """Add ``component`` to this scheduler's id space; returns its id.
+
+        Ids are handed out in registration order, which the fused
+        dispatch loop relies on: registering components in the legacy
+        iteration order makes every ascending-id visit a replay of the
+        legacy scan order.
+        """
+        cid = len(self.components)
+        self.components.append(component)
+        return cid
 
     # -- persistent activation -----------------------------------------
 
     def activate(self, cid: int) -> None:
         """Mark ``cid`` runnable every cycle until :meth:`deactivate`."""
-        if cid not in self._active:
-            self._active.add(cid)
-            self._cache = None
+        active = self._active
+        if cid not in active:
+            active.add(cid)
+            if self._loaned:
+                self._list = list(self._list)
+                self._loaned = False
+            insort(self._list, cid)
 
     def deactivate(self, cid: int) -> None:
         """Clear ``cid``'s persistent activation (timed wakes survive)."""
-        if cid in self._active:
-            self._active.remove(cid)
-            self._cache = None
+        active = self._active
+        if cid in active:
+            active.remove(cid)
+            if self._loaned:
+                self._list = list(self._list)
+                self._loaned = False
+            self._list.remove(cid)
 
     def drain_active(self) -> List[int]:
-        """Snapshot and clear every persistent activation (ascending).
-
-        Used when the loop wants to jump the clock: persistent members
-        with a knowable next-due time (hot links) are demoted to timed
-        wakes so :meth:`next_time` sees them.
-        """
-        out = sorted(self._active)
+        """Snapshot and clear every persistent activation (ascending)."""
+        out = self._list if not self._loaned else list(self._list)
         self._active.clear()
-        self._cache = None
+        self._list = []
+        self._loaned = False
         return out
 
     def is_active(self, cid: int) -> bool:
@@ -91,6 +135,11 @@ class ActivationScheduler:
     def has_active(self) -> bool:
         """True when any component is persistently active."""
         return bool(self._active)
+
+    def active_ids(self) -> List[int]:
+        """The persistent active set, ascending (borrowed; do not mutate)."""
+        self._loaned = True
+        return self._list
 
     # -- timed wakes ----------------------------------------------------
 
@@ -104,7 +153,12 @@ class ActivationScheduler:
         if armed is not None and armed <= time:
             return
         self._armed[cid] = time
-        heapq.heappush(self._heap, (time, cid))
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [cid]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(cid)
 
     def next_time(self) -> Optional[int]:
         """Cycle of the earliest armed wake, or ``None``.
@@ -112,13 +166,18 @@ class ActivationScheduler:
         Persistent actives are due "now"; callers check
         :attr:`has_active` before consulting this for a clock jump.
         """
-        heap = self._heap
+        times = self._times
+        buckets = self._buckets
         armed = self._armed
-        while heap:
-            time, cid = heap[0]
-            if armed.get(cid) == time:
-                return time
-            heapq.heappop(heap)  # stale entry superseded by re-arm
+        while times:
+            time = times[0]
+            for cid in buckets[time]:
+                if armed.get(cid) == time:
+                    return time
+            # every entry in this bucket was superseded by an earlier
+            # re-arm; discard the whole cycle
+            heapq.heappop(times)
+            del buckets[time]
         return None
 
     # -- per-cycle harvest ----------------------------------------------
@@ -126,23 +185,22 @@ class ActivationScheduler:
     def due(self, clock: int) -> List[int]:
         """Ids due to step at ``clock``, in ascending (legacy) order.
 
-        Timed wakes at or before ``clock`` are consumed; persistent
-        actives are included without being consumed.  The returned list
-        is a snapshot — callers may activate/deactivate while iterating
-        (mutations invalidate the memo for the *next* call, never the
-        list already handed out).
+        Timed wakes at or before ``clock`` are consumed bucket-at-a-time;
+        persistent actives are included without being consumed.  The
+        returned list is a snapshot — callers may activate/deactivate
+        while iterating (copy-on-write protects the loaned list).
         """
-        heap = self._heap
-        if heap and heap[0][0] <= clock:
+        times = self._times
+        if times and times[0] <= clock:
             armed = self._armed
-            due = set(self._active)
-            while heap and heap[0][0] <= clock:
-                time, cid = heapq.heappop(heap)
-                if armed.get(cid) == time:
-                    del armed[cid]
-                    due.add(cid)
-            return sorted(due)
-        cache = self._cache
-        if cache is None:
-            cache = self._cache = sorted(self._active)
-        return cache
+            buckets = self._buckets
+            harvested = set(self._active)
+            while times and times[0] <= clock:
+                time = heapq.heappop(times)
+                for cid in buckets.pop(time):
+                    if armed.get(cid) == time:
+                        del armed[cid]
+                        harvested.add(cid)
+            return sorted(harvested)
+        self._loaned = True
+        return self._list

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import (
+    ConfigurationError,
+    PortCountError,
+    SimulationError,
+)
 from repro.network.network import Network
 from repro.network.topology import fat_mesh_2x2, single_switch
 from repro.router.config import RouterConfig
@@ -12,9 +16,16 @@ from conftest import deliver_all, make_message, make_network
 
 
 class TestConstruction:
-    def test_ports_follow_topology(self):
-        # config says 8 ports but the topology needs 4: topology wins
-        net = Network(single_switch(4), RouterConfig(num_ports=8, vcs_per_pc=2))
+    def test_port_count_mismatch_is_rejected(self):
+        # config says 8 ports but the topology needs 4: refuse loudly
+        # instead of silently adapting (PortCountError is a typed
+        # ConfigurationError so existing handlers still catch it)
+        with pytest.raises(PortCountError, match="num_ports=4"):
+            Network(single_switch(4), RouterConfig(num_ports=8, vcs_per_pc=2))
+        assert issubclass(PortCountError, ConfigurationError)
+
+    def test_matching_port_count_is_accepted(self):
+        net = Network(single_switch(4), RouterConfig(num_ports=4, vcs_per_pc=2))
         assert net.config.num_ports == 4
 
     def test_every_host_has_interface_and_sink(self):

@@ -105,8 +105,112 @@ class TestProbeSpecific:
         with pytest.raises(ConfigurationError):
             _manager(vcs=2).probe_specific(1, [(A, 5)])
 
+    def test_malformed_request_leaves_no_trace(self):
+        # a malformed request is a programming error, not a dropped
+        # connection: it must not count as an attempt or leak a partial
+        # reservation on the channels before the bad entry
+        manager = _manager(vcs=2)
+        with pytest.raises(ConfigurationError):
+            manager.probe_specific(1, [(A, 0), (B, 5)])
+        assert manager.free_vcs(A) == 2
+        assert manager.stats.attempts == 0
+        assert manager.established_circuits == 0
+        manager.stats.check()
+
+    def test_unknown_channel_mid_path_leaves_no_trace(self):
+        manager = _manager(vcs=2)
+        with pytest.raises(ConfigurationError):
+            manager.probe(1, [A, ("nowhere", 9)])
+        assert manager.free_vcs(A) == 2
+        assert manager.stats.attempts == 0
+        manager.stats.check()
+
+    def test_release_restores_the_specific_vc(self):
+        # teardown accounting: a released circuit's VC is reusable and
+        # the released counter tracks it
+        manager = _manager(vcs=2)
+        manager.probe_specific(1, [(A, 1)])
+        assert manager.probe_specific(2, [(A, 1)]) is None  # conflict
+        manager.release(1)
+        assert manager.probe_specific(3, [(A, 1)]) is not None
+        manager.stats.check()
+        assert manager.stats.released == 1
+        assert manager.established_circuits == 1
+
+    def test_double_release_raises(self):
+        manager = _manager()
+        manager.probe_specific(1, [(A, 0)])
+        manager.release(1)
+        with pytest.raises(SimulationError):
+            manager.release(1)
+
 
 TINY_PCS = dict(scale=80.0, warmup_frames=1, measure_frames=2, seed=3)
+
+
+def _bare_simulator(topology=None, **kw):
+    from repro.metrics.collector import MetricsCollector
+    from repro.pcs.simulator import PCSSimulator
+
+    exp = PCSExperiment(load=0.2, **TINY_PCS, **kw)
+    collector = MetricsCollector(exp.timebase, warmup=exp.warmup_cycles)
+    return PCSSimulator(exp, collector, topology=topology)
+
+
+class TestSetupLatency:
+    """The probe/ack round trip delays the data phase (section 3.5)."""
+
+    def _capture_start(self, simulator, src, dst):
+        from repro.pcs.simulator import _OfferedStream
+
+        starts = []
+        simulator._start_data_phase = (
+            lambda offered, assignment, start: starts.append(start)
+        )
+        offered = _OfferedStream(
+            index=10_000, src_node=src, dst_node=dst, retries=0
+        )
+        simulator._attempt_setup(offered)
+        assert len(starts) == 1, "setup unexpectedly NACKed"
+        return starts[0]
+
+    def test_single_switch_round_trip(self):
+        simulator = _bare_simulator()
+        start = self._capture_start(simulator, 0, 1)
+        # reservation path: source host link + destination host link
+        # (no inter-router hop on a single switch); the probe walks it
+        # out and the ack walks it back
+        hop = simulator.experiment.setup_hop_cycles
+        assert start == simulator.network.clock + 2 * 2 * hop
+
+    def test_mesh_path_adds_a_hop_per_channel(self):
+        from repro.network.topology import fat_mesh_2x2
+
+        simulator = _bare_simulator(topology=fat_mesh_2x2())
+        # node 0 (router 0) to node 12 (router 3): 2 inter-router
+        # channels + the two host links = 4 reservation hops each way
+        start = self._capture_start(simulator, 0, 12)
+        hop = simulator.experiment.setup_hop_cycles
+        assert start == simulator.network.clock + 2 * 4 * hop
+
+    def test_exhausted_source_link_abandons_without_retries(self):
+        from repro.pcs.simulator import _OfferedStream
+
+        simulator = _bare_simulator()
+        manager = simulator.manager
+        vcs = simulator.experiment.vcs_per_pc
+        for vc in range(vcs):
+            assert manager.probe_specific(
+                20_000 + vc, [(("host-in", 0), vc)]
+            ) is not None
+        offered = _OfferedStream(
+            index=10_000, src_node=0, dst_node=1, retries=0
+        )
+        before = manager.stats.abandoned_streams
+        simulator._attempt_setup(offered)
+        assert manager.stats.abandoned_streams == before + 1
+        assert offered.stream is None
+        manager.stats.check()
 
 
 class TestPCSSimulation:

@@ -204,7 +204,10 @@ class TestFatTree:
         from conftest import deliver_all, make_message
 
         topo = fat_tree(leaves=4, spines=2, hosts_per_leaf=2)
-        net = Network(topo, RouterConfig(vcs_per_pc=2))
+        net = Network(
+            topo,
+            RouterConfig(num_ports=topo.ports_per_router, vcs_per_pc=2),
+        )
         msg = make_message(src=0, dst=7, size=6, src_vc=0, dst_vc=1)
         net.inject_now(msg)
         deliver_all(net)
