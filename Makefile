@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint coverage bench bench-default bench-smoke repro faults-smoke failover-smoke trace-smoke examples clean
+.PHONY: install test lint coverage bench bench-default bench-smoke repro faults-smoke failover-smoke trace-smoke chaos-smoke examples clean
 
 # conservative floor just under the suite's measured line coverage of
 # src/repro; ratchet upward as coverage grows, never downward
@@ -54,6 +54,16 @@ trace-smoke:      ## traced run (invariants on) + JSONL schema validation
 	$(PYTHON) -m repro.experiments.cli trace --preset smoke \
 		--trace-out mediaworm-trace-smoke.jsonl
 	$(PYTHON) -m repro.obs mediaworm-trace-smoke.jsonl --digest
+
+chaos-smoke:      ## seeded 25-scenario chaos campaign + sabotage selftest
+	$(PYTHON) -m repro.experiments.cli chaos --profile smoke \
+		--count 25 --seed 7 --jobs 2 --fresh \
+		--corpus chaos-smoke-corpus \
+		--checkpoint mediaworm-chaos-smoke.checkpoint.json
+	$(PYTHON) -m repro.experiments.cli chaos --selftest credit \
+		--corpus chaos-selftest-corpus
+	$(PYTHON) -m repro.experiments.cli chaos \
+		--replay chaos-selftest-corpus/sabotage-credit.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

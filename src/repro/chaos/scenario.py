@@ -1,0 +1,497 @@
+"""Typed random scenarios for the chaos harness.
+
+A :class:`Scenario` is a complete, JSON-serialisable description of one
+simulation the harness can run, judge, shrink, and replay: topology and
+router configuration, a heterogeneous traffic mix, an optional
+:class:`~repro.faults.FaultPlan` with its recovery transport, health
+monitoring and routing mode, the measurement horizon, and (for harness
+self-tests) a named sabotage hook that deliberately corrupts simulator
+state mid-run.
+
+:class:`ScenarioSpace` is the generator: a seeded draw over all of
+those axes.  Generation is deterministic — the same ``(seed, index)``
+always yields the same scenario, on any platform — which is what makes
+campaign verdicts reproducible and repro files replayable.
+
+Two invariants the generator maintains so that a *failing* scenario
+indicates a simulator bug rather than a malformed experiment:
+
+* every faulted scenario carries an end-to-end recovery transport and
+  an armed progress watchdog (loss without recovery wedges worms by
+  design — that is a scenario bug, not a router bug);
+* down windows are always finite and never isolate a host, so
+  :func:`~repro.faults.install_faults` accepts every generated plan.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.schedulers import SchedulingPolicy
+from repro.errors import ConfigurationError
+from repro.experiments.config import (
+    FatMeshExperiment,
+    SingleSwitchExperiment,
+)
+from repro.faults import FaultPlan, LinkDownWindow, RecoveryConfig
+from repro.network.health import HealthConfig
+from repro.network.topology import fat_mesh
+from repro.obs.events import TraceSpec
+from repro.router.config import RoutingMode
+from repro.router.flit import TrafficClass
+
+_FORMAT = "mediaworm-chaos-scenario-v1"
+
+
+@dataclass
+class ChaosSingleSwitchExperiment(SingleSwitchExperiment):
+    """Single-switch experiment with an optional network hook."""
+
+    network_hook: Optional[Callable] = None
+
+
+@dataclass
+class ChaosFatMeshExperiment(FatMeshExperiment):
+    """Fat-mesh experiment with an optional network hook."""
+
+    network_hook: Optional[Callable] = None
+
+
+# ----------------------------------------------------------------------
+# sabotage hooks (harness self-tests)
+
+
+def sabotage_credit(cycle: int, network) -> None:
+    """Schedule a one-credit theft at ``cycle``.
+
+    Decrements the first wired sender-side credit counter by one, so
+    the sender under-counts its budget from then on.  Stealing (rather
+    than minting) a credit cannot overflow any buffer — the simulation
+    keeps running normally — but the books no longer balance, and the
+    next :func:`repro.obs.invariants.check_credits` audit must raise
+    :class:`~repro.errors.InvariantViolation`.  A chaos campaign that
+    does *not* flag this scenario has a blind oracle.
+    """
+
+    def corrupt() -> None:
+        for link in network.links:
+            router = link.dest_router
+            if router is None:
+                continue
+            for ivc in router.inputs[link.dest_port]:
+                sender = ivc.credit_sink
+                if sender is not None:
+                    sender.credits -= 1
+                    return
+
+    network.schedule_call(max(cycle, network.clock), corrupt)
+
+
+#: registry of named sabotage hooks; each entry is a module-level
+#: callable ``fn(cycle, network)`` so experiments stay picklable
+SABOTAGES: Dict[str, Callable] = {
+    "credit": sabotage_credit,
+}
+
+
+# ----------------------------------------------------------------------
+# the scenario record
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully specified chaos run (JSON-plain, replayable)."""
+
+    key: str
+    seed: int
+    #: "single" (n-port switch) or "mesh" (fat mesh)
+    topology: str = "single"
+    num_ports: int = 8
+    rows: int = 2
+    cols: int = 2
+    hosts_per_router: int = 2
+    fat_width: int = 2
+    scheduler: str = SchedulingPolicy.VIRTUAL_CLOCK
+    vcs_per_pc: int = 8
+    load: float = 0.6
+    mix: Tuple[float, float] = (80.0, 20.0)
+    rt_class: str = TrafficClass.VBR
+    message_size: int = 20
+    scale: float = 100.0
+    warmup_frames: int = 1
+    measure_frames: int = 2
+    routing_mode: str = RoutingMode.ORACLE
+    faults: FaultPlan = FaultPlan()
+    recovery: Optional[RecoveryConfig] = None
+    health: Optional[HealthConfig] = None
+    #: progress-watchdog window, in frame intervals (always armed)
+    watchdog_frames: int = 4
+    #: per-run wall-clock budget, seconds (hang protection)
+    wall_timeout_s: float = 120.0
+    #: named state-corruption hook from :data:`SABOTAGES` (self-tests)
+    sabotage: Optional[str] = None
+    #: ride an InvariantChecker on every run of this scenario
+    check: bool = True
+
+    def __post_init__(self) -> None:
+        if self.topology not in ("single", "mesh"):
+            raise ConfigurationError(
+                f"scenario topology must be 'single' or 'mesh', got "
+                f"{self.topology!r}"
+            )
+        if self.sabotage is not None and self.sabotage not in SABOTAGES:
+            raise ConfigurationError(
+                f"unknown sabotage {self.sabotage!r}; "
+                f"known: {sorted(SABOTAGES)}"
+            )
+
+    # -- derived properties ---------------------------------------------
+
+    @property
+    def is_zero_fault(self) -> bool:
+        """True when the scenario injects no faults at all."""
+        return self.faults.is_zero
+
+    @property
+    def frame_interval_cycles(self) -> int:
+        """One frame epoch of this scenario's workload, in cycles."""
+        return self.to_experiment().workload_config().frame_interval_cycles
+
+    # -- experiment assembly --------------------------------------------
+
+    def to_experiment(self):
+        """Build the runnable experiment this scenario describes.
+
+        The watchdog window and the sabotage cycle are denominated in
+        frame intervals, so they stay proportionate when a shrink pass
+        rescales the workload.
+        """
+        kwargs = dict(
+            load=self.load,
+            mix=tuple(self.mix),
+            scheduler=self.scheduler,
+            rt_class=self.rt_class,
+            vcs_per_pc=self.vcs_per_pc,
+            message_size=self.message_size,
+            scale=self.scale,
+            warmup_frames=self.warmup_frames,
+            measure_frames=self.measure_frames,
+            seed=self.seed,
+            faults=None if self.faults.is_zero else self.faults,
+            recovery=self.recovery,
+            health=self.health,
+            routing_mode=self.routing_mode,
+            trace=TraceSpec(check=self.check) if self.check else None,
+        )
+        if self.topology == "single":
+            experiment = ChaosSingleSwitchExperiment(
+                num_ports=self.num_ports, **kwargs
+            )
+        else:
+            experiment = ChaosFatMeshExperiment(
+                rows=self.rows,
+                cols=self.cols,
+                hosts_per_router=self.hosts_per_router,
+                fat_width=self.fat_width,
+                **kwargs,
+            )
+        interval = experiment.workload_config().frame_interval_cycles
+        hook = None
+        if self.sabotage is not None:
+            hook = partial(
+                SABOTAGES[self.sabotage],
+                experiment.warmup_cycles + interval // 2,
+            )
+        return dataclasses.replace(
+            experiment,
+            watchdog_window=self.watchdog_frames * interval,
+            network_hook=hook,
+        )
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-plain form, the payload of a repro/corpus file."""
+        return {
+            "format": _FORMAT,
+            "key": self.key,
+            "seed": self.seed,
+            "topology": self.topology,
+            "num_ports": self.num_ports,
+            "rows": self.rows,
+            "cols": self.cols,
+            "hosts_per_router": self.hosts_per_router,
+            "fat_width": self.fat_width,
+            "scheduler": self.scheduler,
+            "vcs_per_pc": self.vcs_per_pc,
+            "load": self.load,
+            "mix": list(self.mix),
+            "rt_class": self.rt_class,
+            "message_size": self.message_size,
+            "scale": self.scale,
+            "warmup_frames": self.warmup_frames,
+            "measure_frames": self.measure_frames,
+            "routing_mode": self.routing_mode,
+            "faults": self.faults.to_dict(),
+            "recovery": (
+                None if self.recovery is None else self.recovery.to_dict()
+            ),
+            "health": (
+                None
+                if self.health is None
+                else dataclasses.asdict(self.health)
+            ),
+            "watchdog_frames": self.watchdog_frames,
+            "wall_timeout_s": self.wall_timeout_s,
+            "sabotage": self.sabotage,
+            "check": self.check,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output.
+
+        Every nested config re-runs its own validation, so an edited
+        repro file fails loudly instead of silently running something
+        else.
+        """
+        fmt = data.get("format", _FORMAT)
+        if fmt != _FORMAT:
+            raise ConfigurationError(
+                f"unknown scenario format {fmt!r} (expected {_FORMAT!r})"
+            )
+        recovery = data.get("recovery")
+        health = data.get("health")
+        return cls(
+            key=data["key"],
+            seed=int(data["seed"]),
+            topology=data.get("topology", "single"),
+            num_ports=int(data.get("num_ports", 8)),
+            rows=int(data.get("rows", 2)),
+            cols=int(data.get("cols", 2)),
+            hosts_per_router=int(data.get("hosts_per_router", 2)),
+            fat_width=int(data.get("fat_width", 2)),
+            scheduler=data.get("scheduler", SchedulingPolicy.VIRTUAL_CLOCK),
+            vcs_per_pc=int(data.get("vcs_per_pc", 8)),
+            load=float(data.get("load", 0.6)),
+            mix=tuple(data.get("mix", (80.0, 20.0))),
+            rt_class=data.get("rt_class", TrafficClass.VBR),
+            message_size=int(data.get("message_size", 20)),
+            scale=float(data.get("scale", 100.0)),
+            warmup_frames=int(data.get("warmup_frames", 1)),
+            measure_frames=int(data.get("measure_frames", 2)),
+            routing_mode=data.get("routing_mode", RoutingMode.ORACLE),
+            faults=FaultPlan.from_dict(data.get("faults", {})),
+            recovery=(
+                None
+                if recovery is None
+                else RecoveryConfig.from_dict(recovery)
+            ),
+            health=None if health is None else HealthConfig(**health),
+            watchdog_frames=int(data.get("watchdog_frames", 4)),
+            wall_timeout_s=float(data.get("wall_timeout_s", 120.0)),
+            sabotage=data.get("sabotage"),
+            check=bool(data.get("check", True)),
+        )
+
+
+# ----------------------------------------------------------------------
+# the scenario space
+
+
+@dataclass(frozen=True)
+class ScenarioSpace:
+    """The distribution chaos campaigns draw scenarios from.
+
+    Every axis is a plain tuple/range so the space itself serialises
+    into the campaign checkpoint metadata — resuming a checkpoint with
+    a different space recomputes instead of splicing foreign verdicts.
+    """
+
+    scale: float = 100.0
+    topologies: Tuple[str, ...] = ("single", "mesh")
+    num_ports_choices: Tuple[int, ...] = (4, 8)
+    mesh_sizes: Tuple[Tuple[int, int], ...] = ((2, 2),)
+    schedulers: Tuple[str, ...] = (
+        SchedulingPolicy.VIRTUAL_CLOCK,
+        SchedulingPolicy.FIFO,
+    )
+    vcs_choices: Tuple[int, ...] = (4, 8, 16)
+    load_range: Tuple[float, float] = (0.3, 0.85)
+    mixes: Tuple[Tuple[float, float], ...] = (
+        (100.0, 0.0),
+        (80.0, 20.0),
+        (50.0, 50.0),
+    )
+    rt_classes: Tuple[str, ...] = (TrafficClass.VBR, TrafficClass.CBR)
+    message_sizes: Tuple[int, ...] = (8, 20, 40)
+    max_measure_frames: int = 2
+    #: fraction of scenarios drawn with no faults at all (these feed
+    #: the fused-vs-legacy parity and health-no-op differential oracles)
+    zero_fault_fraction: float = 0.4
+    #: of the zero-fault scenarios: fraction run with (passive) health
+    #: monitoring, checked bit-identical against an unmonitored twin
+    health_fraction: float = 0.5
+    #: of the faulted mesh scenarios: fraction run with the full
+    #: adaptive-failover stack (symptom-driven rerouting + degradation)
+    adaptive_fraction: float = 0.4
+    loss_range: Tuple[float, float] = (0.001, 0.01)
+    corrupt_range: Tuple[float, float] = (0.0, 0.005)
+    max_down_windows: int = 2
+    wall_timeout_s: float = 120.0
+
+    def to_meta(self) -> dict:
+        """Checkpoint-metadata form (JSON-plain, order-stable).
+
+        Round-trips through JSON so nested tuples become lists — the
+        checkpoint loader compares this against what it parsed back
+        from disk, and the comparison must be representation-stable.
+        """
+        return json.loads(json.dumps(dataclasses.asdict(self)))
+
+    # -- drawing ---------------------------------------------------------
+
+    def draw(self, rng: random.Random, key: str) -> Scenario:
+        """One scenario, fully determined by ``rng``'s state."""
+        topology = rng.choice(self.topologies)
+        scenario = Scenario(
+            key=key,
+            seed=rng.randrange(1, 2**31),
+            topology=topology,
+            num_ports=rng.choice(self.num_ports_choices),
+            scheduler=rng.choice(self.schedulers),
+            vcs_per_pc=rng.choice(self.vcs_choices),
+            load=round(rng.uniform(*self.load_range), 3),
+            mix=rng.choice(self.mixes),
+            rt_class=rng.choice(self.rt_classes),
+            message_size=rng.choice(self.message_sizes),
+            scale=self.scale,
+            warmup_frames=1,
+            measure_frames=rng.randint(1, self.max_measure_frames),
+            wall_timeout_s=self.wall_timeout_s,
+        )
+        if topology == "mesh":
+            rows, cols = rng.choice(self.mesh_sizes)
+            scenario = dataclasses.replace(scenario, rows=rows, cols=cols)
+        if rng.random() < self.zero_fault_fraction:
+            return self._finish_zero_fault(rng, scenario)
+        return self._finish_faulted(rng, scenario)
+
+    def _finish_zero_fault(
+        self, rng: random.Random, scenario: Scenario
+    ) -> Scenario:
+        """Optionally add passive health monitoring (no-op oracle)."""
+        if rng.random() < self.health_fraction:
+            scenario = dataclasses.replace(scenario, health=HealthConfig())
+        return scenario
+
+    def _finish_faulted(
+        self, rng: random.Random, scenario: Scenario
+    ) -> Scenario:
+        """Attach a fault plan, its recovery transport, and (sometimes)
+        the adaptive-failover stack."""
+        adaptive = (
+            scenario.topology == "mesh"
+            and rng.random() < self.adaptive_fraction
+        )
+        if adaptive:
+            # the failover stack is validated at 16 VCs (reserved
+            # escape VC per class partition needs the headroom)
+            scenario = dataclasses.replace(
+                scenario,
+                vcs_per_pc=16,
+                routing_mode=RoutingMode.ADAPTIVE,
+                health=HealthConfig(),
+            )
+        interval = scenario.frame_interval_cycles
+        loss = round(rng.uniform(*self.loss_range), 5)
+        corrupt = round(rng.uniform(*self.corrupt_range), 5)
+        windows = self._draw_windows(rng, scenario, interval)
+        plan = FaultPlan(
+            flit_loss_prob=loss,
+            flit_corrupt_prob=corrupt,
+            down_windows=windows,
+        )
+        # transport clocks scale with the frame interval, mirroring the
+        # fault/failover campaigns; generous retries keep a healthy
+        # fabric's losses recoverable inside the watchdog window
+        recovery = RecoveryConfig(
+            timeout=max(512, interval // 2),
+            max_retries=8,
+            backoff_base=max(16, interval // 256),
+            backoff_cap=max(64, interval // 16),
+            qos_deadline=4 * interval,
+        )
+        return dataclasses.replace(
+            scenario, faults=plan, recovery=recovery
+        )
+
+    def _draw_windows(
+        self, rng: random.Random, scenario: Scenario, interval: int
+    ) -> Tuple[LinkDownWindow, ...]:
+        """0..max finite down windows over concrete link labels.
+
+        Windows are bounded to half a frame interval and always end, so
+        no generated plan can permanently isolate a host.
+        """
+        count = rng.randint(0, self.max_down_windows)
+        if count == 0:
+            return ()
+        labels = self._link_labels(scenario)
+        horizon = (
+            scenario.warmup_frames + scenario.measure_frames
+        ) * interval
+        windows: List[LinkDownWindow] = []
+        for _ in range(count):
+            start = rng.randrange(0, max(1, horizon - interval // 2))
+            duration = rng.randint(
+                max(1, interval // 8), max(2, interval // 2)
+            )
+            windows.append(
+                LinkDownWindow(
+                    link=rng.choice(labels),
+                    start=start,
+                    end=start + duration,
+                )
+            )
+        return tuple(windows)
+
+    def _link_labels(self, scenario: Scenario) -> List[str]:
+        """Concrete link labels a down window may sever."""
+        if scenario.topology == "single":
+            return [
+                f"host{node}:{half}"
+                for node in range(scenario.num_ports)
+                for half in ("inject", "eject")
+            ]
+        topology = fat_mesh(
+            rows=scenario.rows,
+            cols=scenario.cols,
+            hosts_per_router=scenario.hosts_per_router,
+            fat_width=scenario.fat_width,
+        )
+        return [
+            f"ch:{src}.{sp}->{dst}.{dp}"
+            for src, sp, dst, dp in topology.channels
+        ]
+
+
+def generate(
+    space: ScenarioSpace, seed: int, count: int
+) -> List[Scenario]:
+    """The campaign's scenario stream: ``count`` deterministic draws.
+
+    Each scenario gets its own :class:`random.Random` seeded from a
+    stable string, so inserting or reordering draws of one scenario
+    never perturbs its neighbours, and the stream is identical across
+    platforms and Python versions.
+    """
+    return [
+        space.draw(random.Random(f"chaos/{seed}/{index}"), f"s{index:03d}")
+        for index in range(count)
+    ]

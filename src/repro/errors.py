@@ -61,3 +61,27 @@ class InvariantViolation(SimulationError):
 
 class AdmissionError(ReproError):
     """A stream was offered to a full admission controller."""
+
+
+class PointTimeoutError(SimulationError):
+    """A sweep point exceeded its wall-clock budget.
+
+    Raised from inside the point's own worker (SIGALRM-based, see
+    :func:`repro.experiments.resilience.wall_clock_limit`), so a hung
+    simulation interrupts itself instead of stalling the campaign.
+    """
+
+
+class ChaosFailure(SimulationError):
+    """A chaos-campaign scenario failed one of its oracles.
+
+    Carries the oracle name and the scenario key so a campaign report
+    (or a replayed repro file) can state *which* property broke, not
+    just that something did.
+    """
+
+    def __init__(self, oracle: str, key: str, detail: str) -> None:
+        super().__init__(f"[{oracle}] scenario {key}: {detail}")
+        self.oracle = oracle
+        self.key = key
+        self.detail = detail

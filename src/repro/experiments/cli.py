@@ -46,6 +46,7 @@ _DESCRIPTIONS = {
     "faults": "QoS degradation under link faults (fat mesh)",
     "failover": "adaptive vs static routing under permanent link failures",
     "trace": "one traced run: JSONL event stream, invariants, profiling",
+    "chaos": "randomized differential fault campaign with scenario shrinking",
 }
 
 
@@ -293,6 +294,85 @@ def _run_trace(args, profile) -> int:
     return 0
 
 
+def _run_chaos(args) -> int:
+    """The ``mediaworm chaos`` subcommand: differential fault campaigns.
+
+    Three modes, mutually exclusive: ``--replay FILE`` re-runs one
+    repro and checks its verdict still holds; ``--selftest KIND``
+    proves the whole pipeline catches, shrinks, and replays a known
+    sabotage; the default runs a seeded random campaign and writes a
+    minimal repro for every failure it finds.
+    """
+    import os
+
+    from repro.chaos import ScenarioSpace, replay, run_campaign, selftest
+    from repro.errors import ChaosFailure, ConfigurationError
+
+    if args.replay:
+        try:
+            ok, message, actual = replay(args.replay)
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc))
+        status = "OK" if ok else "MISMATCH"
+        print(f"[{status}] {args.replay}: {message}")
+        return 0 if ok else 1
+
+    if args.selftest:
+        try:
+            path = selftest(
+                args.selftest,
+                args.corpus,
+                seed=args.seed,
+                shrink_budget=args.shrink_budget,
+                log=print,
+            )
+        except ChaosFailure as exc:
+            print(f"[selftest FAILED] {exc}", file=sys.stderr)
+            return 1
+        print(f"[selftest ok: pipeline caught/shrank/replayed -> {path}]")
+        return 0
+
+    profile = get_profile(args.profile)
+    space = ScenarioSpace(scale=profile.scale)
+    path = args.checkpoint or f"mediaworm-chaos-{args.profile}.checkpoint.json"
+    if args.fresh:
+        for stale in (path, f"{path}.tmp"):
+            try:
+                os.remove(stale)
+            except OSError:
+                pass
+    started = time.perf_counter()
+    summary = run_campaign(
+        space,
+        seed=args.seed,
+        count=args.count,
+        corpus_dir=args.corpus,
+        jobs=args.jobs,
+        checkpoint_path=path,
+        shrink_budget=args.shrink_budget,
+        point_timeout=args.point_timeout,
+        log=print,
+    )
+    if args.json:
+        import json as _json
+
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(summary, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    print(
+        f"chaos campaign: {summary['passed']}/{summary['scenarios']} "
+        f"scenarios passed (seed {summary['seed']})"
+    )
+    for failure in summary["failures"]:
+        print(
+            f"  FAIL {failure['key']} [{failure['oracle']}]: "
+            f"{failure['detail']}"
+        )
+        print(f"       repro: {failure['repro']}")
+    print(f"[chaos completed in {time.perf_counter() - started:.1f}s]")
+    return 1 if summary["failed"] else 0
+
+
 def _add_sweep_args(parser) -> None:
     """Flags shared by every sweep-running subcommand."""
     parser.add_argument(
@@ -310,6 +390,14 @@ def _add_sweep_args(parser) -> None:
         default=None,
         help="abort any run making no progress for CYCLES cycles "
         "(default: each sweep's own policy)",
+    )
+    parser.add_argument(
+        "--point-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="wall-clock budget per sweep point; a point exceeding it "
+        "fails (and retries reseeded) instead of hanging the sweep",
     )
 
 
@@ -474,6 +562,89 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="profile the simulation loop per phase (wall time)",
     )
 
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="randomized differential fault campaign (auto-shrinks "
+        "failures to replayable repros)",
+    )
+    chaos_parser.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default="smoke",
+        help="workload scale for generated scenarios (default: smoke)",
+    )
+    chaos_parser.add_argument(
+        "--count",
+        type=int,
+        metavar="N",
+        default=25,
+        help="scenarios to draw and run (default: 25)",
+    )
+    chaos_parser.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="campaign seed; the scenario stream and every verdict are "
+        "a pure function of it (default: 7)",
+    )
+    chaos_parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=1,
+        help="run scenarios in N isolated worker processes",
+    )
+    chaos_parser.add_argument(
+        "--point-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="override each scenario's wall-clock budget (a scenario "
+        "exceeding it fails under the 'timeout' oracle)",
+    )
+    chaos_parser.add_argument(
+        "--corpus",
+        metavar="DIR",
+        default="chaos-corpus",
+        help="directory for shrunk failing-scenario repros "
+        "(default: chaos-corpus)",
+    )
+    chaos_parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="campaign checkpoint (default: mediaworm-chaos-<profile>"
+        ".checkpoint.json); an interrupted campaign resumes from it",
+    )
+    chaos_parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="discard any existing checkpoint and recompute everything",
+    )
+    chaos_parser.add_argument(
+        "--shrink-budget",
+        type=int,
+        metavar="N",
+        default=40,
+        help="max re-runs spent shrinking one failure (default: 40)",
+    )
+    chaos_parser.add_argument(
+        "--replay",
+        metavar="FILE",
+        default=None,
+        help="re-run one repro file and verify its recorded verdict",
+    )
+    chaos_parser.add_argument(
+        "--selftest",
+        metavar="KIND",
+        default=None,
+        help="sabotage a run (e.g. 'credit') and assert the pipeline "
+        "catches, shrinks, and replays it",
+    )
+    chaos_parser.add_argument(
+        "--json", metavar="PATH", default=None, help="also write JSON"
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -486,6 +657,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         # --preset, so resolve before the shared --profile handling
         return _run_trace(args, get_profile(args.preset))
 
+    if args.command == "chaos":
+        # scenarios carry their own watchdog and wall-clock budgets, so
+        # chaos skips the shared sweep-flag handling below
+        if args.jobs < 1:
+            raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+        if args.count < 1:
+            raise SystemExit(f"--count must be >= 1, got {args.count}")
+        return _run_chaos(args)
+
     profile = get_profile(args.profile)
     if args.watchdog is not None:
         if args.watchdog < 1:
@@ -493,9 +673,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         profile = replace(profile, watchdog_window=args.watchdog)
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    if args.point_timeout is not None and args.point_timeout <= 0:
+        raise SystemExit(
+            f"--point-timeout must be > 0 seconds, got {args.point_timeout}"
+        )
+    # a point timeout needs the executor even at --jobs 1: the inline
+    # path is what arms the per-point wall-clock limit
     executor = (
-        ParallelSweepExecutor(jobs=args.jobs, log=print)
-        if args.jobs > 1
+        ParallelSweepExecutor(
+            jobs=args.jobs,
+            log=print,
+            point_timeout=args.point_timeout,
+        )
+        if args.jobs > 1 or args.point_timeout is not None
         else None
     )
 

@@ -36,7 +36,12 @@ from dataclasses import asdict, dataclass, is_dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.experiments.resilience import RESEED_STEP, SweepCheckpoint, run_resilient
+from repro.experiments.resilience import (
+    RESEED_STEP,
+    SweepCheckpoint,
+    run_resilient,
+    wall_clock_limit,
+)
 
 #: seed offset applied to every not-yet-finished point after a worker
 #: crash (a prime distinct from RESEED_STEP, so a crash-reseed can never
@@ -95,11 +100,31 @@ def _make_portable(result):
     return portable() if portable is not None else result
 
 
+class _TimedRunner:
+    """Wrap a point runner in a per-attempt wall-clock limit.
+
+    Constructed inside the worker (never pickled), so the wrapped
+    runner itself stays an ordinary picklable module-level function.
+    A limit firing raises :class:`~repro.errors.PointTimeoutError` — a
+    :class:`~repro.errors.SimulationError`, so :func:`run_resilient`
+    retries the point with a fresh seed like any other wedge.
+    """
+
+    def __init__(self, runner: Callable, seconds: float) -> None:
+        self.runner = runner
+        self.seconds = seconds
+
+    def __call__(self, experiment):
+        with wall_clock_limit(self.seconds):
+            return self.runner(experiment)
+
+
 def _run_task(
     task: SweepTask,
     attempts: int,
     reseed_step: int,
     cycle_budget: Optional[int],
+    point_timeout: Optional[float] = None,
 ):
     """Worker body: one point, with in-worker reseed retries.
 
@@ -107,8 +132,11 @@ def _run_task(
     portable result; a :class:`~repro.errors.SimulationError` from the
     final attempt propagates back through the future.
     """
+    runner = task.runner
+    if point_timeout is not None:
+        runner = _TimedRunner(runner, point_timeout)
     result = run_resilient(
-        task.runner,
+        runner,
         task.experiment,
         attempts=attempts,
         reseed_step=reseed_step,
@@ -134,6 +162,7 @@ class ParallelSweepExecutor:
         cycle_budget: Optional[int] = None,
         crash_retries: int = 2,
         log: Optional[Callable[[str], None]] = None,
+        point_timeout: Optional[float] = None,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -141,12 +170,19 @@ class ParallelSweepExecutor:
             raise ConfigurationError(
                 f"crash_retries must be >= 0, got {crash_retries}"
             )
+        if point_timeout is not None and point_timeout <= 0:
+            raise ConfigurationError(
+                f"point_timeout must be > 0 seconds, got {point_timeout}"
+            )
         self.jobs = jobs
         self.attempts = attempts
         self.reseed_step = reseed_step
         self.cycle_budget = cycle_budget
         self.crash_retries = crash_retries
         self.log = log
+        #: per-attempt wall-clock budget for one point, in seconds
+        #: (None = unbounded); enforced inside the point's own worker
+        self.point_timeout = point_timeout
 
     # ------------------------------------------------------------------
 
@@ -218,7 +254,11 @@ class ParallelSweepExecutor:
         for task in todo:
             try:
                 result = _run_task(
-                    task, self.attempts, self.reseed_step, self.cycle_budget
+                    task,
+                    self.attempts,
+                    self.reseed_step,
+                    self.cycle_budget,
+                    self.point_timeout,
                 )
             except SimulationError as exc:
                 if on_failure is None:
@@ -282,6 +322,7 @@ class ParallelSweepExecutor:
                     self.attempts,
                     self.reseed_step,
                     self.cycle_budget,
+                    self.point_timeout,
                 ): task
                 for task in pending
             }

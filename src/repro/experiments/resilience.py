@@ -15,17 +15,58 @@ kinds of trouble:
 from __future__ import annotations
 
 import json
+import logging
 import os
+import signal
+import threading
+from contextlib import contextmanager
 from dataclasses import replace
 from typing import Callable, Dict, Optional
 
-from repro.errors import SimulationError
+from repro.errors import PointTimeoutError, SimulationError
+
+logger = logging.getLogger(__name__)
 
 #: seed offset between retry attempts (a prime, so reseeded retries of
 #: neighbouring points never collide on the same effective seed)
 RESEED_STEP = 1009
 
 _FORMAT = "mediaworm-checkpoint-v1"
+
+
+@contextmanager
+def wall_clock_limit(seconds: Optional[float]):
+    """Bound a block of code to ``seconds`` of wall-clock time.
+
+    Raises :class:`~repro.errors.PointTimeoutError` when the limit
+    fires, turning a hung simulation into an ordinary failed point.
+    Implemented with ``SIGALRM``/``setitimer``, so it only arms on
+    platforms that have it and only from a main thread (every sweep
+    worker's task runs in its worker process's main thread); anywhere
+    else the block runs unbounded rather than failing to start.
+    ``None`` or a non-positive limit disables the guard.
+    """
+    if (
+        seconds is None
+        or seconds <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _fire(signum, frame):
+        raise PointTimeoutError(
+            f"wall-clock limit of {seconds:g}s exceeded"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 class SweepCheckpoint:
@@ -44,26 +85,73 @@ class SweepCheckpoint:
         self._load()
 
     def _load(self) -> None:
-        try:
-            with open(self.path, "r", encoding="utf-8") as fh:
-                raw = json.load(fh)
-        except (OSError, ValueError):
+        raw = self._read(self.path)
+        if raw is None:
+            # A crash between writing the temp file and the atomic
+            # rename leaves a complete checkpoint at <path>.tmp with
+            # nothing (or a truncated file) at <path>; recover it.
+            raw = self._read(f"{self.path}.tmp")
+            if raw is not None:
+                logger.warning(
+                    "checkpoint %s: recovered from partial write "
+                    "(loading %s.tmp left by a crash)",
+                    self.path,
+                    self.path,
+                )
+        if raw is None:
             return
-        if (
-            not isinstance(raw, dict)
-            or raw.get("format") != _FORMAT
-            or raw.get("meta") != self.meta
-        ):
+        if raw.get("meta") != self.meta:
+            logger.warning(
+                "checkpoint %s: metadata %r does not match this sweep's "
+                "%r; discarding it and recomputing from scratch",
+                self.path,
+                raw.get("meta"),
+                self.meta,
+            )
             return
         done = raw.get("done")
         if isinstance(done, dict):
             self._done = done
+
+    def _read(self, path: str) -> Optional[Dict[str, object]]:
+        """Parse one candidate checkpoint file, or ``None`` with a reason.
+
+        Missing files are silent (the normal first-run case); corrupt
+        JSON and format mismatches warn, naming the path and the cause,
+        so an operator knows the rerun is recomputing from scratch.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                raw = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            logger.warning(
+                "checkpoint %s: unreadable (%s: %s); completed work "
+                "recorded there will be recomputed",
+                path,
+                type(exc).__name__,
+                exc,
+            )
+            return None
+        if not isinstance(raw, dict) or raw.get("format") != _FORMAT:
+            logger.warning(
+                "checkpoint %s: unrecognised format %r (expected %r); "
+                "discarding it",
+                path,
+                raw.get("format") if isinstance(raw, dict) else type(raw),
+                _FORMAT,
+            )
+            return None
+        return raw
 
     def _save(self) -> None:
         payload = {"format": _FORMAT, "meta": self.meta, "done": self._done}
         tmp = f"{self.path}.tmp"
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, self.path)
 
     def get(self, key: str):
@@ -86,10 +174,11 @@ class SweepCheckpoint:
     def clear(self) -> None:
         """Delete the checkpoint file (sweep finished or restarted)."""
         self._done = {}
-        try:
-            os.remove(self.path)
-        except OSError:
-            pass
+        for path in (self.path, f"{self.path}.tmp"):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
 
 
 def run_resilient(

@@ -281,6 +281,12 @@ def _simulate_wormhole(experiment, topology) -> ExperimentResult:
     # transport and health monitor above) is wired before the first event.
     spec = getattr(experiment, "trace", None)
     harness = _TraceHarness(network, spec) if spec is not None else None
+    # Experiment-supplied network hook (e.g. chaos-harness sabotage):
+    # runs after everything is wired so it can schedule mid-run calls
+    # or perturb component state the oracles are expected to catch.
+    hook = getattr(experiment, "network_hook", None)
+    if hook is not None:
+        hook(network)
     if getattr(experiment, "profile_loop", False):
         profiler = LoopProfiler()
         network.profiler = profiler

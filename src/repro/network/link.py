@@ -203,16 +203,6 @@ class Link:
             if fate == FATE_CORRUPT:
                 msg.corrupted = True
                 faults.account_corrupted()
-                if self.trace is not None:
-                    self.trace.on_event(
-                        "flit_corrupt",
-                        clock,
-                        {
-                            "link": self.label,
-                            "msg": msg.msg_id,
-                            "flit": flit_index,
-                        },
-                    )
             if router is not None:
                 router.accept_flit(
                     clock, self.dest_port, vc_index, msg, flit_index
@@ -220,6 +210,20 @@ class Link:
             else:
                 self.sink.eject(clock, msg, flit_index)
             delivered += 1
+            if fate == FATE_CORRUPT and self.trace is not None:
+                # Emitted only after the flit landed: an event sink may
+                # audit credits on any event (InvariantChecker's
+                # periodic check), and between the wire pop above and
+                # accept/eject the flit is in neither ledger.
+                self.trace.on_event(
+                    "flit_corrupt",
+                    clock,
+                    {
+                        "link": self.label,
+                        "msg": msg.msg_id,
+                        "flit": flit_index,
+                    },
+                )
             if health is not None:
                 if fate == FATE_CORRUPT:
                     health.on_corrupt(clock)

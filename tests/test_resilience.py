@@ -2,7 +2,10 @@
 
 import dataclasses
 import json
+import logging
 import os
+import signal
+import time
 
 import pytest
 
@@ -10,14 +13,18 @@ from conftest import TINY
 
 import repro.experiments.cli as cli
 import repro.experiments.faultsweep as faultsweep
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import DeadlockError, PointTimeoutError, SimulationError
 from repro.experiments.config import SingleSwitchExperiment
 from repro.experiments.figures import PROFILES, RunProfile
+from repro.experiments.parallel import CRASH_RESEED_STEP
 from repro.experiments.resilience import (
     RESEED_STEP,
     SweepCheckpoint,
     run_resilient,
+    wall_clock_limit,
 )
+
+RESILIENCE_LOGGER = "repro.experiments.resilience"
 
 
 @pytest.fixture
@@ -78,6 +85,141 @@ class TestSweepCheckpoint:
         assert not path.exists()
         assert cp.done_keys == []
         cp.clear()  # idempotent
+
+
+class TestCheckpointRecovery:
+    """Corruption is reported, partial writes are recovered."""
+
+    def test_corrupt_file_warns_with_path_and_cause(self, tmp_path, caplog):
+        path = tmp_path / "sweep.json"
+        path.write_text("{ not json")
+        with caplog.at_level(logging.WARNING, RESILIENCE_LOGGER):
+            cp = SweepCheckpoint(path, meta={})
+        assert cp.done_keys == []
+        assert str(path) in caplog.text
+        assert "unreadable" in caplog.text
+        # the operator sees what broke, not just that something did
+        assert "JSONDecodeError" in caplog.text
+
+    def test_unknown_format_warns(self, tmp_path, caplog):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({"format": "other", "done": {"a": 1}}))
+        with caplog.at_level(logging.WARNING, RESILIENCE_LOGGER):
+            SweepCheckpoint(path, meta={})
+        assert "unrecognised format" in caplog.text
+        assert "'other'" in caplog.text
+
+    def test_meta_mismatch_warns(self, tmp_path, caplog):
+        path = tmp_path / "sweep.json"
+        SweepCheckpoint(path, meta={"profile": "quick"}).put("fig3", "text")
+        with caplog.at_level(logging.WARNING, RESILIENCE_LOGGER):
+            SweepCheckpoint(path, meta={"profile": "default"})
+        assert "does not match" in caplog.text
+        assert "recomputing" in caplog.text
+
+    def test_clean_load_is_silent(self, tmp_path, caplog):
+        path = tmp_path / "sweep.json"
+        SweepCheckpoint(path, meta={"profile": "quick"}).put("fig3", "text")
+        with caplog.at_level(logging.WARNING, RESILIENCE_LOGGER):
+            SweepCheckpoint(path, meta={"profile": "quick"})
+            SweepCheckpoint(tmp_path / "absent.json", meta={})
+        assert caplog.text == ""
+
+    def test_partial_write_recovers_from_tmp(self, tmp_path, caplog):
+        path = tmp_path / "sweep.json"
+        SweepCheckpoint(path, meta={"profile": "quick"}).put("fig3", "text")
+        # simulate a crash between the temp-file fsync and the atomic
+        # rename: the finished payload sits at <path>.tmp, <path> is gone
+        os.replace(path, f"{path}.tmp")
+        with caplog.at_level(logging.WARNING, RESILIENCE_LOGGER):
+            recovered = SweepCheckpoint(path, meta={"profile": "quick"})
+        assert recovered.get("fig3") == "text"
+        assert "recovered from partial write" in caplog.text
+
+    def test_partial_write_recovers_over_truncated_main(
+        self, tmp_path, caplog
+    ):
+        path = tmp_path / "sweep.json"
+        SweepCheckpoint(path, meta={"profile": "quick"}).put("fig3", "text")
+        os.replace(path, f"{path}.tmp")
+        # a crash mid-write of a *later* save leaves a truncated main
+        # file alongside the last complete temp payload
+        path.write_text('{"format": "mediaworm-checkpoint-v1", "me')
+        with caplog.at_level(logging.WARNING, RESILIENCE_LOGGER):
+            recovered = SweepCheckpoint(path, meta={"profile": "quick"})
+        assert recovered.get("fig3") == "text"
+        assert "unreadable" in caplog.text
+        assert "recovered from partial write" in caplog.text
+
+    def test_recovered_tmp_still_checks_meta(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        SweepCheckpoint(path, meta={"profile": "quick"}).put("fig3", "text")
+        os.replace(path, f"{path}.tmp")
+        other = SweepCheckpoint(path, meta={"profile": "default"})
+        assert "fig3" not in other
+
+    def test_clear_removes_the_tmp_file_too(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        cp = SweepCheckpoint(path, meta={})
+        cp.put("a", 1)
+        (tmp_path / "sweep.json.tmp").write_text("{}")
+        cp.clear()
+        assert not path.exists()
+        assert not os.path.exists(f"{path}.tmp")
+
+
+class TestReseedCollisionFreedom:
+    """Retry and crash reseeds must never alias another point's stream."""
+
+    def test_steps_are_distinct_primes(self):
+        assert RESEED_STEP != CRASH_RESEED_STEP
+        for step in (RESEED_STEP, CRASH_RESEED_STEP):
+            assert step > 1
+            assert all(step % d for d in range(2, int(step**0.5) + 1))
+
+    def test_reseed_streams_never_collide(self):
+        # a sweep's point seeds are typically a dense family (seed,
+        # seed+1, ...); every (retry attempt, crash round) combination
+        # must map each base to a distinct effective seed, or a retry of
+        # one point would silently rerun another point's exact stream
+        bases = range(101)
+        attempts = range(3)  # in-worker retry reseeds (attempts=3)
+        crashes = range(3)  # pool-crash resubmission reseeds
+        seeds = {
+            base + attempt * RESEED_STEP + crash * CRASH_RESEED_STEP
+            for base in bases
+            for attempt in attempts
+            for crash in crashes
+        }
+        assert len(seeds) == len(bases) * len(attempts) * len(crashes)
+
+
+class TestWallClockLimit:
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGALRM"), reason="needs SIGALRM"
+    )
+    def test_expiry_raises_point_timeout(self):
+        with pytest.raises(PointTimeoutError, match="wall-clock limit"):
+            with wall_clock_limit(0.05):
+                deadline = time.monotonic() + 5.0  # hang protection
+                while time.monotonic() < deadline:
+                    pass
+
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGALRM"), reason="needs SIGALRM"
+    )
+    def test_timer_is_disarmed_after_the_block(self):
+        with wall_clock_limit(30.0):
+            pass
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+    def test_none_and_nonpositive_disable_the_guard(self):
+        with wall_clock_limit(None):
+            pass
+        with wall_clock_limit(0):
+            pass
+        with wall_clock_limit(-1.0):
+            pass
 
 
 class TestRunResilient:
