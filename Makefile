@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint coverage bench bench-default bench-smoke repro faults-smoke failover-smoke trace-smoke chaos-smoke examples clean
+.PHONY: install test lint coverage bench bench-default bench-smoke repro faults-smoke failover-smoke trace-smoke chaos-smoke scale-smoke scale examples clean
 
 # conservative floor just under the suite's measured line coverage of
 # src/repro; ratchet upward as coverage grows, never downward
@@ -64,6 +64,12 @@ chaos-smoke:      ## seeded 25-scenario chaos campaign + sabotage selftest
 		--corpus chaos-selftest-corpus
 	$(PYTHON) -m repro.experiments.cli chaos \
 		--replay chaos-selftest-corpus/sabotage-credit.json
+
+scale-smoke:      ## quick scale points: digests identical on both loops
+	$(PYTHON) -m repro.experiments.cli scale --smoke --json SCALE_smoke.json
+
+scale:            ## full scale campaign incl. the 1024-host fat tree
+	$(PYTHON) -m repro.experiments.cli scale --json SCALE_campaign.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

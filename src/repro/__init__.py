@@ -46,9 +46,11 @@ from repro.metrics import MetricsCollector, RunMetrics
 from repro.network import (
     HealthConfig,
     Network,
+    butterfly,
     fat_mesh,
     fat_mesh_2x2,
     fat_tree,
+    fat_tree3,
     single_switch,
 )
 from repro.router import (
@@ -62,12 +64,16 @@ from repro.router import (
 from repro.sim import LinkSpec, RngStreams, WorkloadScale
 from repro.traffic import TrafficMix, WorkloadConfig, build_workload
 from repro.experiments import (
+    ButterflyExperiment,
     FatMeshExperiment,
+    FatTree3Experiment,
     FatTreeExperiment,
     PCSExperiment,
     SingleSwitchExperiment,
+    simulate_butterfly,
     simulate_fat_mesh,
     simulate_fat_tree,
+    simulate_fat_tree3,
     simulate_pcs,
     simulate_single_switch,
 )
@@ -77,10 +83,12 @@ __version__ = "1.0.0"
 __all__ = [
     "AdmissionController",
     "AdmissionError",
+    "ButterflyExperiment",
     "ConfigurationError",
     "CrossbarKind",
     "DeadlockError",
     "FatMeshExperiment",
+    "FatTree3Experiment",
     "FatTreeExperiment",
     "FaultConfigError",
     "FaultPlan",
@@ -110,14 +118,18 @@ __all__ = [
     "WorkloadScale",
     "__version__",
     "build_workload",
+    "butterfly",
     "fat_mesh",
     "fat_mesh_2x2",
     "fat_tree",
+    "fat_tree3",
     "install_faults",
     "install_recovery",
     "mediaworm_router_config",
+    "simulate_butterfly",
     "simulate_fat_mesh",
     "simulate_fat_tree",
+    "simulate_fat_tree3",
     "simulate_pcs",
     "simulate_single_switch",
     "single_switch",

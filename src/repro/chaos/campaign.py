@@ -44,7 +44,12 @@ from repro.chaos.scenario import (
 from repro.errors import ChaosFailure, ConfigurationError
 from repro.experiments.parallel import ParallelSweepExecutor, SweepTask
 from repro.experiments.resilience import SweepCheckpoint, wall_clock_limit
-from repro.experiments.runner import simulate_fat_mesh, simulate_single_switch
+from repro.experiments.runner import (
+    simulate_butterfly,
+    simulate_fat_mesh,
+    simulate_fat_tree3,
+    simulate_single_switch,
+)
 from repro.router.config import RoutingMode
 
 REPRO_FORMAT = "mediaworm-chaos-repro-v1"
@@ -54,12 +59,17 @@ REPRO_FORMAT = "mediaworm-chaos-repro-v1"
 # running one scenario
 
 
+_RUNNERS = {
+    "single": simulate_single_switch,
+    "mesh": simulate_fat_mesh,
+    "tree": simulate_fat_tree3,
+    "butterfly": simulate_butterfly,
+}
+
+
 def _execute(scenario: Scenario):
     """One raw simulation of the scenario (exceptions propagate)."""
-    experiment = scenario.to_experiment()
-    if scenario.topology == "single":
-        return simulate_single_switch(experiment)
-    return simulate_fat_mesh(experiment)
+    return _RUNNERS[scenario.topology](scenario.to_experiment())
 
 
 def _execute_legacy(scenario: Scenario):
@@ -230,9 +240,9 @@ def _candidates(scenario: Scenario) -> Iterator[Tuple[str, Scenario]]:
                 faults=dataclasses.replace(plan, flit_loss_prob=0.0),
             ),
         )
-    if scenario.topology == "mesh":
-        # down-window labels name mesh channels, so the single-switch
-        # twin drops them along with the topology
+    if scenario.topology != "single":
+        # down-window labels name multi-router channels, so the
+        # single-switch twin drops them along with the topology
         yield (
             "shrink-topology",
             dataclasses.replace(

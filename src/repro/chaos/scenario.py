@@ -35,12 +35,14 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.schedulers import SchedulingPolicy
 from repro.errors import ConfigurationError
 from repro.experiments.config import (
+    ButterflyExperiment,
     FatMeshExperiment,
+    FatTree3Experiment,
     SingleSwitchExperiment,
 )
 from repro.faults import FaultPlan, LinkDownWindow, RecoveryConfig
 from repro.network.health import HealthConfig
-from repro.network.topology import fat_mesh
+from repro.network.topology import butterfly, fat_mesh, fat_tree3
 from repro.obs.events import TraceSpec
 from repro.router.config import RoutingMode
 from repro.router.flit import TrafficClass
@@ -58,6 +60,20 @@ class ChaosSingleSwitchExperiment(SingleSwitchExperiment):
 @dataclass
 class ChaosFatMeshExperiment(FatMeshExperiment):
     """Fat-mesh experiment with an optional network hook."""
+
+    network_hook: Optional[Callable] = None
+
+
+@dataclass
+class ChaosFatTree3Experiment(FatTree3Experiment):
+    """3-level fat-tree experiment with an optional network hook."""
+
+    network_hook: Optional[Callable] = None
+
+
+@dataclass
+class ChaosButterflyExperiment(ButterflyExperiment):
+    """k-ary n-tree experiment with an optional network hook."""
 
     network_hook: Optional[Callable] = None
 
@@ -109,13 +125,21 @@ class Scenario:
 
     key: str
     seed: int
-    #: "single" (n-port switch) or "mesh" (fat mesh)
+    #: "single" (n-port switch), "mesh" (fat mesh), "tree" (3-level
+    #: k-ary fat tree), or "butterfly" (k-ary n-tree)
     topology: str = "single"
     num_ports: int = 8
     rows: int = 2
     cols: int = 2
     hosts_per_router: int = 2
     fat_width: int = 2
+    #: "tree" shape (chaos trees always run at fat_width 1)
+    tree_k: int = 4
+    #: "butterfly" shape
+    bfly_arity: int = 2
+    bfly_levels: int = 3
+    #: hosts per leaf for "tree"/"butterfly"; None = the generator default
+    hosts_per_leaf: Optional[int] = None
     scheduler: str = SchedulingPolicy.VIRTUAL_CLOCK
     vcs_per_pc: int = 8
     load: float = 0.6
@@ -139,10 +163,10 @@ class Scenario:
     check: bool = True
 
     def __post_init__(self) -> None:
-        if self.topology not in ("single", "mesh"):
+        if self.topology not in ("single", "mesh", "tree", "butterfly"):
             raise ConfigurationError(
-                f"scenario topology must be 'single' or 'mesh', got "
-                f"{self.topology!r}"
+                f"scenario topology must be 'single', 'mesh', 'tree', or "
+                f"'butterfly', got {self.topology!r}"
             )
         if self.sabotage is not None and self.sabotage not in SABOTAGES:
             raise ConfigurationError(
@@ -192,12 +216,25 @@ class Scenario:
             experiment = ChaosSingleSwitchExperiment(
                 num_ports=self.num_ports, **kwargs
             )
-        else:
+        elif self.topology == "mesh":
             experiment = ChaosFatMeshExperiment(
                 rows=self.rows,
                 cols=self.cols,
                 hosts_per_router=self.hosts_per_router,
                 fat_width=self.fat_width,
+                **kwargs,
+            )
+        elif self.topology == "tree":
+            experiment = ChaosFatTree3Experiment(
+                k=self.tree_k,
+                hosts_per_leaf=self.hosts_per_leaf,
+                **kwargs,
+            )
+        else:
+            experiment = ChaosButterflyExperiment(
+                arity=self.bfly_arity,
+                levels=self.bfly_levels,
+                hosts_per_leaf=self.hosts_per_leaf,
                 **kwargs,
             )
         interval = experiment.workload_config().frame_interval_cycles
@@ -227,6 +264,10 @@ class Scenario:
             "cols": self.cols,
             "hosts_per_router": self.hosts_per_router,
             "fat_width": self.fat_width,
+            "tree_k": self.tree_k,
+            "bfly_arity": self.bfly_arity,
+            "bfly_levels": self.bfly_levels,
+            "hosts_per_leaf": self.hosts_per_leaf,
             "scheduler": self.scheduler,
             "vcs_per_pc": self.vcs_per_pc,
             "load": self.load,
@@ -276,6 +317,14 @@ class Scenario:
             cols=int(data.get("cols", 2)),
             hosts_per_router=int(data.get("hosts_per_router", 2)),
             fat_width=int(data.get("fat_width", 2)),
+            tree_k=int(data.get("tree_k", 4)),
+            bfly_arity=int(data.get("bfly_arity", 2)),
+            bfly_levels=int(data.get("bfly_levels", 3)),
+            hosts_per_leaf=(
+                None
+                if data.get("hosts_per_leaf") is None
+                else int(data["hosts_per_leaf"])
+            ),
             scheduler=data.get("scheduler", SchedulingPolicy.VIRTUAL_CLOCK),
             vcs_per_pc=int(data.get("vcs_per_pc", 8)),
             load=float(data.get("load", 0.6)),
@@ -314,9 +363,13 @@ class ScenarioSpace:
     """
 
     scale: float = 100.0
-    topologies: Tuple[str, ...] = ("single", "mesh")
+    topologies: Tuple[str, ...] = ("single", "mesh", "tree", "butterfly")
     num_ports_choices: Tuple[int, ...] = (4, 8)
     mesh_sizes: Tuple[Tuple[int, int], ...] = ((2, 2),)
+    #: "tree" shapes: k of the 3-level fat tree (k=4 -> 16 hosts)
+    tree_k_choices: Tuple[int, ...] = (4,)
+    #: "butterfly" shapes: (arity, levels) of the k-ary n-tree
+    bfly_shapes: Tuple[Tuple[int, int], ...] = ((2, 3), (4, 2))
     schedulers: Tuple[str, ...] = (
         SchedulingPolicy.VIRTUAL_CLOCK,
         SchedulingPolicy.FIFO,
@@ -378,6 +431,15 @@ class ScenarioSpace:
         if topology == "mesh":
             rows, cols = rng.choice(self.mesh_sizes)
             scenario = dataclasses.replace(scenario, rows=rows, cols=cols)
+        elif topology == "tree":
+            scenario = dataclasses.replace(
+                scenario, tree_k=rng.choice(self.tree_k_choices)
+            )
+        elif topology == "butterfly":
+            arity, levels = rng.choice(self.bfly_shapes)
+            scenario = dataclasses.replace(
+                scenario, bfly_arity=arity, bfly_levels=levels
+            )
         if rng.random() < self.zero_fault_fraction:
             return self._finish_zero_fault(rng, scenario)
         return self._finish_faulted(rng, scenario)
@@ -469,12 +531,24 @@ class ScenarioSpace:
                 for node in range(scenario.num_ports)
                 for half in ("inject", "eject")
             ]
-        topology = fat_mesh(
-            rows=scenario.rows,
-            cols=scenario.cols,
-            hosts_per_router=scenario.hosts_per_router,
-            fat_width=scenario.fat_width,
-        )
+        if scenario.topology == "mesh":
+            topology = fat_mesh(
+                rows=scenario.rows,
+                cols=scenario.cols,
+                hosts_per_router=scenario.hosts_per_router,
+                fat_width=scenario.fat_width,
+            )
+        elif scenario.topology == "tree":
+            topology = fat_tree3(
+                k=scenario.tree_k,
+                hosts_per_leaf=scenario.hosts_per_leaf,
+            )
+        else:
+            topology = butterfly(
+                arity=scenario.bfly_arity,
+                levels=scenario.bfly_levels,
+                hosts_per_leaf=scenario.hosts_per_leaf,
+            )
         return [
             f"ch:{src}.{sp}->{dst}.{dp}"
             for src, sp, dst, dp in topology.channels

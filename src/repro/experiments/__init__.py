@@ -7,7 +7,9 @@ regenerate Figures 3-9 and Tables 2-3.
 """
 
 from repro.experiments.config import (
+    ButterflyExperiment,
     FatMeshExperiment,
+    FatTree3Experiment,
     FatTreeExperiment,
     PCSExperiment,
     SingleSwitchExperiment,
@@ -21,15 +23,19 @@ from repro.experiments.runner import (
     ExperimentResult,
     PCSResult,
     WorkloadSummary,
+    simulate_butterfly,
     simulate_fat_mesh,
     simulate_fat_tree,
+    simulate_fat_tree3,
     simulate_pcs,
     simulate_single_switch,
 )
 
 __all__ = [
+    "ButterflyExperiment",
     "ExperimentResult",
     "FatMeshExperiment",
+    "FatTree3Experiment",
     "FatTreeExperiment",
     "PCSExperiment",
     "PCSResult",
@@ -38,8 +44,10 @@ __all__ = [
     "SweepTask",
     "WorkloadSummary",
     "execute_tasks",
+    "simulate_butterfly",
     "simulate_fat_mesh",
     "simulate_fat_tree",
+    "simulate_fat_tree3",
     "simulate_pcs",
     "simulate_single_switch",
 ]

@@ -5,13 +5,15 @@ writes them to ``BENCH_core.json`` for CI to archive, and appends every
 run (with provenance) to ``BENCH_history.jsonl`` so the perf trajectory
 is tracked across commits:
 
-* **loop comparison** — a two-point workload run twice in-process,
+* **loop comparison** — a three-point workload run twice in-process,
   once with the active-set run loop and once with the legacy full-scan
   loop (``REPRO_LEGACY_LOOP=1``).  The points bracket the loop's
   operating envelope: a *dense* fig3 single-switch at load 0.8 (every
-  component busy — the active set machinery must roughly tie) and a
+  component busy — the active set machinery must roughly tie), a
   *sparse* 16x16 fat mesh at one stream per host (hundreds of mostly
-  idle components — where skipping the full scan is the whole point).
+  idle components — where skipping the full scan is the whole point),
+  and a *sparse* 128-host 3-level fat tree (the compiled-route-program
+  topology class the scale campaign runs at 1024 hosts).
   The combined speedup is ``sum(legacy_s) / sum(active_s)``.  Metrics
   must be bit-identical per point; this doubles as a golden-run check
   on real workloads.
@@ -44,14 +46,22 @@ from datetime import datetime, timezone
 from typing import Dict, List, Optional
 
 from repro.core.schedulers import SchedulingPolicy
-from repro.experiments.config import FatMeshExperiment, SingleSwitchExperiment
+from repro.experiments.config import (
+    FatMeshExperiment,
+    FatTree3Experiment,
+    SingleSwitchExperiment,
+)
 from repro.experiments.figures import (
     DEFAULT_LOADS,
     _base_kwargs,
     get_profile,
 )
 from repro.experiments.parallel import ParallelSweepExecutor, SweepTask
-from repro.experiments.runner import simulate_fat_mesh, simulate_single_switch
+from repro.experiments.runner import (
+    simulate_fat_mesh,
+    simulate_fat_tree3,
+    simulate_single_switch,
+)
 
 FORMAT = "bench-core-v2"
 
@@ -119,6 +129,21 @@ def _loop_points(profile):
                 warmup_frames=1,
                 measure_frames=3,
                 seed=11,
+            ),
+        ),
+        (
+            "fattree_sparse",
+            simulate_fat_tree3,
+            FatTree3Experiment(
+                k=8,
+                load=SPARSE_POINT_LOAD,
+                mix=(100, 0),
+                scheduler=SchedulingPolicy.VIRTUAL_CLOCK,
+                vcs_per_pc=4,
+                scale=profile.scale,
+                warmup_frames=1,
+                measure_frames=2,
+                seed=13,
             ),
         ),
     ]

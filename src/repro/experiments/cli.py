@@ -47,6 +47,8 @@ _DESCRIPTIONS = {
     "failover": "adaptive vs static routing under permanent link failures",
     "trace": "one traced run: JSONL event stream, invariants, profiling",
     "chaos": "randomized differential fault campaign with scenario shrinking",
+    "topo": "inspect a topology and its compiled route program",
+    "scale": "datacenter-scale campaign (1024-host fat tree, Clos)",
 }
 
 
@@ -373,6 +375,36 @@ def _run_chaos(args) -> int:
     return 1 if summary["failed"] else 0
 
 
+def _run_topo(args) -> int:
+    """The ``mediaworm topo`` subcommand: build + describe one topology."""
+    from repro.errors import ConfigurationError
+    from repro.experiments.topo import TOPOLOGY_KINDS, build_topology, describe_topology
+
+    params = {
+        name: getattr(args, name)
+        for name in (
+            "num_ports",
+            "rows",
+            "cols",
+            "hosts_per_router",
+            "leaves",
+            "spines",
+            "hosts_per_leaf",
+            "k",
+            "arity",
+            "levels",
+            "fat_width",
+        )
+        if getattr(args, name) is not None
+    }
+    try:
+        topology = build_topology(args.kind, **params)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc))
+    print(describe_topology(topology))
+    return 0
+
+
 def _add_sweep_args(parser) -> None:
     """Flags shared by every sweep-running subcommand."""
     parser.add_argument(
@@ -645,7 +677,65 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--json", metavar="PATH", default=None, help="also write JSON"
     )
 
+    topo_parser = sub.add_parser(
+        "topo",
+        help="inspect a topology and its compiled route program",
+    )
+    topo_parser.add_argument(
+        "kind",
+        help="single, mesh, fat_tree, fat_tree3, or butterfly",
+    )
+    for flag, kind in (
+        ("--num-ports", int),
+        ("--rows", int),
+        ("--cols", int),
+        ("--hosts-per-router", int),
+        ("--leaves", int),
+        ("--spines", int),
+        ("--hosts-per-leaf", int),
+        ("--k", int),
+        ("--arity", int),
+        ("--levels", int),
+        ("--fat-width", int),
+    ):
+        topo_parser.add_argument(flag, type=kind, default=None)
+
+    scale_parser = sub.add_parser(
+        "scale",
+        help="datacenter-scale campaign: bit-identical repeat + legacy "
+        "digests on 1024-host fat trees and Clos networks",
+    )
+    scale_parser.add_argument(
+        "--points",
+        metavar="P1,P2,...",
+        default=None,
+        help="comma-separated point names (default: all)",
+    )
+    scale_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run only the quick smoke subset",
+    )
+    scale_parser.add_argument(
+        "--json", metavar="PATH", default=None, help="also write JSON"
+    )
+
     args = parser.parse_args(argv)
+
+    if args.command == "topo":
+        return _run_topo(args)
+
+    if args.command == "scale":
+        from repro.experiments.scale import main as scale_main
+
+        scale_argv = []
+        if args.points:
+            scale_argv += ["--points", args.points]
+        if args.smoke:
+            scale_argv.append("--smoke")
+        if args.json:
+            scale_argv += ["--json", args.json]
+        return scale_main(scale_argv)
 
     if args.command == "list":
         for name, desc in _DESCRIPTIONS.items():

@@ -168,6 +168,31 @@ class FatTreeExperiment(_BaseExperiment):
 
 
 @dataclass
+class FatTree3Experiment(_BaseExperiment):
+    """One run on a 3-level k-ary fat tree (the datacenter scale-up).
+
+    ``k=16`` with the default ``hosts_per_leaf`` (``k/2``) is the
+    1024-host configuration the scale campaign proves out.
+    """
+
+    k: int = 4
+    #: hosts per leaf switch; None = the full k/2 of a classic fat tree
+    hosts_per_leaf: Optional[int] = None
+    fat_width: int = 1
+
+
+@dataclass
+class ButterflyExperiment(_BaseExperiment):
+    """One run on a k-ary n-tree (folded multistage Clos/Butterfly)."""
+
+    arity: int = 2
+    levels: int = 3
+    #: hosts per leaf switch; None = arity
+    hosts_per_leaf: Optional[int] = None
+    fat_width: int = 1
+
+
+@dataclass
 class PCSExperiment(_BaseExperiment):
     """One run of the PCS comparison (section 5.6; 100 Mbps, 24 VCs).
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import asdict, dataclass, is_dataclass, replace
+from dataclasses import MISSING, asdict, dataclass, fields, is_dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError, SimulationError
@@ -49,18 +49,50 @@ from repro.experiments.resilience import (
 CRASH_RESEED_STEP = 7919
 
 
+#: experiment fields that determine the topology shape (and hence the
+#: compiled route program); fingerprinted only when set off-default
+_TOPOLOGY_KNOBS = (
+    "num_ports",
+    "rows",
+    "cols",
+    "hosts_per_router",
+    "fat_width",
+    "leaves",
+    "spines",
+    "hosts_per_leaf",
+    "k",
+    "arity",
+    "levels",
+)
+
+
+def _topology_parts(experiment) -> List[str]:
+    """Off-default topology-shape knobs, in declaration order."""
+    if not is_dataclass(experiment):
+        return []
+    parts = []
+    for spec in fields(type(experiment)):
+        if spec.name not in _TOPOLOGY_KNOBS or spec.default is MISSING:
+            continue
+        value = getattr(experiment, spec.name)
+        if value != spec.default:
+            parts.append(f"{spec.name}={value}")
+    return parts
+
+
 def sweep_fingerprint(experiment) -> str:
     """Checkpoint-key suffix for the failover-era experiment knobs.
 
     Sweep-point keys written before these knobs existed must keep
     restoring from old checkpoints, so the fingerprint is empty at the
     default settings and otherwise encodes every knob that changes a
-    point's physics — the routing mode, the health-monitor
-    configuration, and the QoS deadline.  Appending it to point keys
-    means resuming a checkpointed campaign with changed flags
-    recomputes the points instead of serving stale cached ones.
+    point's physics — off-default topology-generator parameters (port
+    count, mesh/tree shape, fat width), the routing mode, the
+    health-monitor configuration, and the QoS deadline.  Appending it
+    to point keys means resuming a checkpointed campaign with changed
+    flags recomputes the points instead of serving stale cached ones.
     """
-    parts = []
+    parts = _topology_parts(experiment)
     mode = getattr(experiment, "routing_mode", "oracle")
     if mode != "oracle":
         parts.append(f"mode={mode}")

@@ -27,7 +27,13 @@ from repro.obs import (
     install_tracing,
     write_chrome_trace,
 )
-from repro.network.topology import fat_mesh, fat_tree, single_switch
+from repro.network.topology import (
+    butterfly,
+    fat_mesh,
+    fat_tree,
+    fat_tree3,
+    single_switch,
+)
 from repro.pcs.connection import ConnectionStats
 from repro.pcs.simulator import PCSSimulator
 from repro.sim.rng import RngStreams
@@ -118,6 +124,37 @@ class PCSResult:
         return self
 
 
+# ----------------------------------------------------------------------
+# topology memoization
+#
+# A topology (and its compiled route program) is pure immutable data;
+# every Network built over it forks its own routing facade, so one
+# instance can serve any number of runs.  Sweep points typically vary
+# load/scheduler/seed at a fixed shape, and pool workers process many
+# points per process — rebuilding a 320-router fat tree per point would
+# dominate sparse-run wall time.  The cache is intentionally tiny
+# (sweeps use one or two shapes) and evicts in insertion order.
+
+_TOPOLOGY_CACHE: Dict[tuple, object] = {}
+_TOPOLOGY_CACHE_CAP = 8
+#: topologies actually constructed in this process (cache misses);
+#: the construction-count tests read the delta
+TOPOLOGY_BUILDS = 0
+
+
+def _cached_topology(builder, **params):
+    key = (builder.__name__, tuple(sorted(params.items())))
+    topology = _TOPOLOGY_CACHE.get(key)
+    if topology is None:
+        global TOPOLOGY_BUILDS
+        TOPOLOGY_BUILDS += 1
+        topology = builder(**params)
+        if len(_TOPOLOGY_CACHE) >= _TOPOLOGY_CACHE_CAP:
+            _TOPOLOGY_CACHE.pop(next(iter(_TOPOLOGY_CACHE)))
+        _TOPOLOGY_CACHE[key] = topology
+    return topology
+
+
 def _run_network(experiment, network: Network, collector: MetricsCollector):
     started = time.perf_counter()
     network.run(experiment.total_cycles)
@@ -156,7 +193,7 @@ def _mirror_admission(network: Network, workload) -> AdmissionController:
     """
     controller = AdmissionController(threshold=1.0)
     fraction = workload.config.stream_fraction
-    routing = network.topology.routing
+    routing = network.routing
     host_rid = {node: rid for node, rid, _ in network.topology.hosts}
     channel_dst = {
         (r, p): dr for r, p, dr, _ in network.topology.channels
@@ -307,12 +344,16 @@ def _simulate_wormhole(experiment, topology) -> ExperimentResult:
 
 def simulate_single_switch(experiment) -> ExperimentResult:
     """Run one single-switch configuration (sections 5.1-5.6)."""
-    return _simulate_wormhole(experiment, single_switch(experiment.num_ports))
+    topology = _cached_topology(
+        single_switch, num_ports=experiment.num_ports
+    )
+    return _simulate_wormhole(experiment, topology)
 
 
 def simulate_fat_mesh(experiment) -> ExperimentResult:
     """Run one fat-mesh configuration (section 5.7)."""
-    topology = fat_mesh(
+    topology = _cached_topology(
+        fat_mesh,
         rows=experiment.rows,
         cols=experiment.cols,
         hosts_per_router=experiment.hosts_per_router,
@@ -323,9 +364,33 @@ def simulate_fat_mesh(experiment) -> ExperimentResult:
 
 def simulate_fat_tree(experiment) -> ExperimentResult:
     """Run one fat-tree configuration (a beyond-the-paper topology)."""
-    topology = fat_tree(
+    topology = _cached_topology(
+        fat_tree,
         leaves=experiment.leaves,
         spines=experiment.spines,
+        hosts_per_leaf=experiment.hosts_per_leaf,
+        fat_width=experiment.fat_width,
+    )
+    return _simulate_wormhole(experiment, topology)
+
+
+def simulate_fat_tree3(experiment) -> ExperimentResult:
+    """Run one 3-level k-ary fat-tree configuration (scale campaign)."""
+    topology = _cached_topology(
+        fat_tree3,
+        k=experiment.k,
+        hosts_per_leaf=experiment.hosts_per_leaf,
+        fat_width=experiment.fat_width,
+    )
+    return _simulate_wormhole(experiment, topology)
+
+
+def simulate_butterfly(experiment) -> ExperimentResult:
+    """Run one k-ary n-tree (butterfly/Clos) configuration."""
+    topology = _cached_topology(
+        butterfly,
+        arity=experiment.arity,
+        levels=experiment.levels,
         hosts_per_leaf=experiment.hosts_per_leaf,
         fat_width=experiment.fat_width,
     )

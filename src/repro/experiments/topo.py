@@ -1,0 +1,101 @@
+"""``mediaworm topo``: inspect a topology and its compiled route program.
+
+Builds one topology from the generator name plus shape flags and
+prints its structure — switch/host/channel counts, levels — and the
+route program's compiled statistics (dense slots, interned port
+groups, table footprint).  Useful for sizing a scale-campaign point
+before committing to a run::
+
+    mediaworm topo fat_tree3 --k 16
+    mediaworm topo butterfly --arity 8 --levels 3
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.network.topology import (
+    Topology,
+    butterfly,
+    fat_mesh,
+    fat_tree,
+    fat_tree3,
+    single_switch,
+)
+
+#: generator name -> (builder, accepted shape flags)
+TOPOLOGY_KINDS: Dict[str, tuple] = {
+    "single": (single_switch, ("num_ports",)),
+    "mesh": (fat_mesh, ("rows", "cols", "hosts_per_router", "fat_width")),
+    "fat_tree": (
+        fat_tree,
+        ("leaves", "spines", "hosts_per_leaf", "fat_width"),
+    ),
+    "fat_tree3": (fat_tree3, ("k", "hosts_per_leaf", "fat_width")),
+    "butterfly": (
+        butterfly,
+        ("arity", "levels", "hosts_per_leaf", "fat_width"),
+    ),
+}
+
+
+def build_topology(kind: str, **params) -> Topology:
+    """Build one topology by generator name; unknown flags are errors."""
+    try:
+        builder, accepted = TOPOLOGY_KINDS[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown topology kind {kind!r}; "
+            f"choose from {', '.join(TOPOLOGY_KINDS)}"
+        )
+    extra = sorted(set(params) - set(accepted))
+    if extra:
+        raise ConfigurationError(
+            f"{kind} does not take {', '.join('--' + e.replace('_', '-') for e in extra)} "
+            f"(accepted: {', '.join('--' + a.replace('_', '-') for a in accepted)})"
+        )
+    return builder(**params)
+
+
+def describe_topology(topology: Topology) -> str:
+    """Human-readable structure + route-program report."""
+    lines: List[str] = [
+        f"topology          {topology.extras.get('generator', 'custom')}",
+        f"switches          {topology.num_routers}",
+        f"ports per switch  {topology.ports_per_router}",
+        f"hosts             {topology.num_hosts}",
+        f"channels          {len(topology.channels)}",
+    ]
+    levels = topology.extras.get("levels")
+    if levels is not None:
+        counts: Dict[int, int] = {}
+        for level in levels:
+            counts[level] = counts.get(level, 0) + 1
+        lines.append(
+            "levels            "
+            + ", ".join(
+                f"L{level}: {count}" for level, count in sorted(counts.items())
+            )
+        )
+    for key in ("k", "arity", "tree_levels", "rows", "cols", "fat_width"):
+        if key in topology.extras:
+            lines.append(f"{key:<17s} {topology.extras[key]}")
+    program = topology.route_program
+    if program is None:
+        lines.append("route program     none (stateless routing)")
+        return "\n".join(lines)
+    stats = program.stats()
+    lines.append("route program")
+    for key in (
+        "destinations",
+        "dense_nodes",
+        "entries",
+        "alt_entries",
+        "detour_entries",
+        "unique_groups",
+        "max_group_size",
+        "table_ints",
+    ):
+        lines.append(f"  {key:<15s} {stats[key]}")
+    return "\n".join(lines)

@@ -417,9 +417,7 @@ def _check_host_isolation(network, injector: FaultInjector) -> None:
                     f"fault plan permanently fails {label}; host {node} "
                     f"has a single attachment link, no reroute is possible"
                 )
-    routing = network.topology.routing
-    alt_table = getattr(routing, "_alt_table", {})
-    detour_map = getattr(routing, "_detours", {})
+    routing = network.routing
     channel_dst = {
         (r, p): dr for r, p, dr, _ in network.topology.channels
     }
@@ -432,7 +430,9 @@ def _check_host_isolation(network, injector: FaultInjector) -> None:
                 if steps > 4 * num_routers:
                     break  # walk is cyclic; reachable, just detouring
                 ports = (
-                    alt_table.get((rid, node)) if flavor == "yx" else None
+                    routing.alt_candidates(rid, node)
+                    if flavor == "yx"
+                    else None
                 )
                 if ports is None:
                     ports = routing.candidates(rid, node)
@@ -440,8 +440,8 @@ def _check_host_isolation(network, injector: FaultInjector) -> None:
                     p for p in ports if (rid, p) not in dead_ports
                 ]
                 if not open_ports:
-                    for group, detour_flavor in detour_map.get(
-                        (rid, node), ()
+                    for group, detour_flavor in routing.detour_options(
+                        rid, node
                     ):
                         survivors = [
                             p for p in group if (rid, p) not in dead_ports

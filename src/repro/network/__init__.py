@@ -16,9 +16,11 @@ from repro.network.network import Network
 from repro.network.probe import LinkUtilization, UtilizationProbe
 from repro.network.topology import (
     Topology,
+    butterfly,
     fat_mesh,
     fat_mesh_2x2,
     fat_tree,
+    fat_tree3,
     single_switch,
 )
 
@@ -32,8 +34,10 @@ __all__ = [
     "Network",
     "Topology",
     "UtilizationProbe",
+    "butterfly",
     "fat_mesh",
     "fat_mesh_2x2",
     "fat_tree",
+    "fat_tree3",
     "single_switch",
 ]

@@ -346,7 +346,7 @@ class LinkHealthMonitor:
         flaps = sum(h.flaps for h in self.states.values())
         recoveries = sum(h.recoveries for h in self.states.values())
         ttr_total = sum(h.ttr_total for h in self.states.values())
-        routing = self.network.topology.routing
+        routing = self.network.routing
         return {
             "links_monitored": len(self.states),
             "link_downs": downs,
@@ -371,8 +371,11 @@ class LinkHealthMonitor:
         link = health.link
         network = self.network
         if self.adaptive and link.src_router is not None:
-            routing = network.topology.routing
-            routing.mask_port(link.src_router.router_id, link.src_port)
+            # The network's forked facade: masking mutates this run's
+            # thin per-router overlay, never the shared route program.
+            network.routing.mask_port(
+                link.src_router.router_id, link.src_port
+            )
             self.worms_requeued += network.requeue_stuck_worms(
                 link.src_router, link.src_port, link
             )
@@ -403,7 +406,7 @@ class LinkHealthMonitor:
     def _on_probation(self, health: LinkHealth) -> None:
         link = health.link
         if self.adaptive and link.src_router is not None:
-            self.network.topology.routing.unmask_port(
+            self.network.routing.unmask_port(
                 link.src_router.router_id, link.src_port
             )
 

@@ -95,8 +95,14 @@ class Network:
         self.profiler = None
         self._on_message = on_message
 
+        #: this network's private routing facade: shares the topology's
+        #: compiled route program but owns its mask overlays and
+        #: reroute/detour counters, so topologies cached across runs
+        #: (sweep workers, repeat digests) never leak failover state
+        #: between networks
+        self.routing = topology.routing.fork()
         self.routers: List[WormholeRouter] = [
-            WormholeRouter(rid, config, topology.routing)
+            WormholeRouter(rid, config, self.routing)
             for rid in range(topology.num_routers)
         ]
         self.links: List[Link] = []

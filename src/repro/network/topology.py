@@ -1,4 +1,4 @@
-"""Topology descriptions: single switch, fat meshes.
+"""Topology descriptions: single switch, fat meshes, fat trees, Clos.
 
 A :class:`Topology` is pure data: where hosts attach, which router
 ports face which other router ports, and the routing function.  The
@@ -10,13 +10,23 @@ The paper evaluates an 8-port single switch (sections 5.1-5.6) and a
 switch, and **two** physical links between each adjacent pair so the
 inter-switch bandwidth matches the multi-endpoint load ("fat" links,
 section 3.4).  ``fat_mesh`` generalises to k x k for the scalability
-studies the paper lists as future work.
+studies the paper lists as future work; ``fat_tree3`` (a 3-level
+pod/spine/core k-ary fat tree) and ``butterfly`` (a k-ary n-tree, the
+folded multistage Clos/Butterfly) extend the reproduction to the
+datacenter scales the ROADMAP names, with deterministic up*/down*
+routing compiled by the shared :func:`_updown_tables` pass.
+
+Every multi-router generator builds its routing tables in dict form
+and hands them to :class:`~repro.router.routing.TableRouting`, which
+compiles them into one immutable
+:class:`~repro.router.routeprog.RouteProgram` — built exactly once per
+topology, shared by every network instantiated over it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.router.routing import (
@@ -25,6 +35,7 @@ from repro.router.routing import (
     FatMeshRouting,
     RoutingFunction,
     SingleSwitchRouting,
+    TableRouting,
 )
 
 
@@ -88,6 +99,11 @@ class Topology:
     def node_ids(self) -> List[int]:
         """All endpoint node ids."""
         return [node for node, _, _ in self.hosts]
+
+    @property
+    def route_program(self):
+        """The compiled :class:`RouteProgram`, or None (single switch)."""
+        return getattr(self.routing, "program", None)
 
 
 def single_switch(num_ports: int = 8) -> Topology:
@@ -331,5 +347,307 @@ def fat_tree(
             "spines": spines,
             "hosts_per_leaf": hosts_per_leaf,
             "fat_width": fat_width,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# multilevel trees: shared up*/down* route construction
+
+
+def _updown_tables(
+    num_routers: int,
+    levels: List[int],
+    adjacency: Dict[Tuple[int, int], Tuple[int, ...]],
+    host_router: Dict[int, int],
+    host_port: Dict[int, int],
+) -> Dict[Tuple[int, int], Tuple[int, ...]]:
+    """Deterministic up*/down* routing tables for a levelled topology.
+
+    ``adjacency`` maps ``(router, neighbour) -> fat port group``; every
+    physical adjacency appears in both directions, and adjacent routers
+    sit on consecutive levels (hosts attach at level 0).  The routing
+    discipline is the classic deadlock-free one: a message travels *up*
+    (any parent group — the router picks by load, as on fat-mesh link
+    groups) exactly until the destination is in the subtree below, then
+    strictly *down* along the group(s) toward the child subtree holding
+    it.  Because down-subtrees partition the hosts at every level of a
+    folded-Clos-style fabric, down candidates are a single fat group —
+    there is provably no down-path diversity to build detour tables
+    from, which is why tree topologies compile with an empty detour
+    table and rely on up-group shrink + end-to-end recovery instead
+    (see docs/simulator-internals.md).
+    """
+    children: Dict[int, List[int]] = {r: [] for r in range(num_routers)}
+    parents: Dict[int, List[int]] = {r: [] for r in range(num_routers)}
+    for (rid, nbr) in sorted(adjacency):
+        if levels[nbr] == levels[rid] - 1:
+            children[rid].append(nbr)
+        elif levels[nbr] == levels[rid] + 1:
+            parents[rid].append(nbr)
+        else:
+            raise ConfigurationError(
+                f"adjacency {rid}->{nbr} spans levels "
+                f"{levels[rid]}->{levels[nbr]}; up*/down* needs "
+                f"consecutive levels"
+            )
+    up_ports = {
+        rid: tuple(
+            port for nbr in parents[rid] for port in adjacency[(rid, nbr)]
+        )
+        for rid in range(num_routers)
+    }
+
+    # Propagate host sets up the tree, remembering which child subtree
+    # each host arrived through (hosts may be reachable through several
+    # children in a generalised fabric; candidates concatenate groups
+    # in child-id order, deterministically).
+    hosts_via: Dict[int, Dict[int, List[int]]] = {
+        r: {} for r in range(num_routers)
+    }
+    below: Dict[int, set] = {r: set() for r in range(num_routers)}
+    for node, rid in host_router.items():
+        below[rid].add(node)
+    for rid in sorted(range(num_routers), key=lambda r: (levels[r], r)):
+        for child in children[rid]:
+            for node in below[child]:
+                below[rid].add(node)
+                hosts_via[rid].setdefault(node, []).append(child)
+
+    table: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+    for node, dst_rid in host_router.items():
+        for rid in range(num_routers):
+            if rid == dst_rid:
+                table[(rid, node)] = (host_port[node],)
+            elif node in below[rid]:
+                table[(rid, node)] = tuple(
+                    port
+                    for child in hosts_via[rid][node]
+                    for port in adjacency[(rid, child)]
+                )
+            else:
+                if not up_ports[rid]:
+                    raise ConfigurationError(
+                        f"router {rid} (level {levels[rid]}) cannot reach "
+                        f"node {node}: not below and no parents"
+                    )
+                table[(rid, node)] = up_ports[rid]
+    return table
+
+
+def _wire_levelled(
+    levels: List[int],
+    adjacency: Dict[Tuple[int, int], Tuple[int, ...]],
+) -> List[Tuple[int, int, int, int]]:
+    """Bidirectional channels from a both-direction adjacency map.
+
+    The i-th port of the upward fat group wires to the i-th port of the
+    matching downward group, like fat-mesh neighbour pairs.
+    """
+    channels: List[Tuple[int, int, int, int]] = []
+    for (a, b) in sorted(adjacency):
+        if levels[a] < levels[b]:
+            up_group = adjacency[(a, b)]
+            down_group = adjacency[(b, a)]
+            for pa, pb in zip(up_group, down_group):
+                channels.append((a, pa, b, pb))
+                channels.append((b, pb, a, pa))
+    return channels
+
+
+def fat_tree3(
+    k: int = 4,
+    hosts_per_leaf: Optional[int] = None,
+    fat_width: int = 1,
+) -> Topology:
+    """A 3-level k-ary fat tree: k pods of leaves+spines under a core.
+
+    The classic datacenter shape: ``k`` pods, each with ``k/2`` leaf
+    and ``k/2`` spine switches; every leaf connects to every spine of
+    its pod, and spine ``j`` of every pod connects to the same group of
+    ``k/2`` core switches (so a core reaches exactly one spine per
+    pod).  ``hosts_per_leaf`` defaults to ``k/2``, giving the full
+    ``k^3/4`` hosts — ``k=16`` is the 1024-host configuration with
+    uniform 16-port switches.  ``fat_width`` parallel links per
+    adjacency form fat groups exactly as on the mesh.
+
+    Routing is compiled up*/down* (see :func:`_updown_tables`): up
+    candidates span *all* parent groups so health-masking a link
+    shrinks the group naturally; down paths are unique per switch, so
+    the generated detour table is empty by theorem, not omission.
+    """
+    if k < 2 or k % 2:
+        raise ConfigurationError(f"fat_tree3 needs an even k >= 2, got {k}")
+    if fat_width < 1:
+        raise ConfigurationError("fat_width must be >= 1")
+    half = k // 2
+    hpl = half if hosts_per_leaf is None else hosts_per_leaf
+    if hpl < 1:
+        raise ConfigurationError("need at least one host per leaf")
+    num_leaves = k * half
+    num_spines = k * half
+    num_cores = half * half
+    num_routers = num_leaves + num_spines + num_cores
+
+    def leaf_rid(pod: int, i: int) -> int:
+        return pod * half + i
+
+    def spine_rid(pod: int, j: int) -> int:
+        return num_leaves + pod * half + j
+
+    def core_rid(c: int) -> int:
+        return num_leaves + num_spines + c
+
+    levels = [0] * num_leaves + [1] * num_spines + [2] * num_cores
+
+    adjacency: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+
+    def group(base: int) -> Tuple[int, ...]:
+        return tuple(range(base, base + fat_width))
+
+    for pod in range(k):
+        for i in range(half):
+            leaf = leaf_rid(pod, i)
+            for j in range(half):
+                spine = spine_rid(pod, j)
+                # leaf: hosts first, then one up group per pod spine;
+                # spine: down groups to pod leaves, then up groups.
+                adjacency[(leaf, spine)] = group(hpl + j * fat_width)
+                adjacency[(spine, leaf)] = group(i * fat_width)
+        for j in range(half):
+            spine = spine_rid(pod, j)
+            for m in range(half):
+                core = core_rid(j * half + m)
+                adjacency[(spine, core)] = group(
+                    half * fat_width + m * fat_width
+                )
+                adjacency[(core, spine)] = group(pod * fat_width)
+
+    hosts = []
+    host_router: Dict[int, int] = {}
+    host_port: Dict[int, int] = {}
+    for leaf in range(num_leaves):
+        for h in range(hpl):
+            node = leaf * hpl + h
+            hosts.append((node, leaf, h))
+            host_router[node] = leaf
+            host_port[node] = h
+
+    leaf_ports = hpl + half * fat_width
+    spine_ports = 2 * half * fat_width
+    core_ports = k * fat_width
+    ports_per_router = max(leaf_ports, spine_ports, core_ports)
+
+    table = _updown_tables(
+        num_routers, levels, adjacency, host_router, host_port
+    )
+    name = f"fat-tree3-k{k}h{hpl}w{fat_width}"
+    return Topology(
+        name=name,
+        num_routers=num_routers,
+        ports_per_router=ports_per_router,
+        hosts=hosts,
+        channels=_wire_levelled(levels, adjacency),
+        routing=TableRouting(table, name=name),
+        extras={
+            "generator": "fat_tree3",
+            "k": k,
+            "hosts_per_leaf": hpl,
+            "fat_width": fat_width,
+            "levels": tuple(levels),
+        },
+    )
+
+
+def butterfly(
+    arity: int = 2,
+    levels: int = 3,
+    hosts_per_leaf: Optional[int] = None,
+    fat_width: int = 1,
+) -> Topology:
+    """A k-ary n-tree: the folded multistage Clos/Butterfly network.
+
+    ``levels`` stages of ``arity**(levels-1)`` switches each; the
+    switch at ``(level l, index d)`` connects upward to the ``arity``
+    level-``l+1`` switches whose index differs from ``d`` only in base-
+    ``arity`` digit ``l`` — the butterfly permutation, folded into a
+    bidirectional fabric.  Hosts (``hosts_per_leaf`` each, default
+    ``arity``) hang off the level-0 switches.  Routing is the same
+    compiled up*/down* pass as :func:`fat_tree3`; every top-level
+    switch reaches every leaf, so up candidates are always the full
+    parent set.
+    """
+    if arity < 2:
+        raise ConfigurationError(f"butterfly needs arity >= 2, got {arity}")
+    if levels < 2:
+        raise ConfigurationError(f"butterfly needs >= 2 levels, got {levels}")
+    if fat_width < 1:
+        raise ConfigurationError("fat_width must be >= 1")
+    hpl = arity if hosts_per_leaf is None else hosts_per_leaf
+    if hpl < 1:
+        raise ConfigurationError("need at least one host per leaf")
+    per_level = arity ** (levels - 1)
+    num_routers = levels * per_level
+
+    def rid(level: int, index: int) -> int:
+        return level * per_level + index
+
+    level_of = [
+        level for level in range(levels) for _ in range(per_level)
+    ]
+
+    def group(base: int) -> Tuple[int, ...]:
+        return tuple(range(base, base + fat_width))
+
+    adjacency: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+    for level in range(levels - 1):
+        stride = arity**level
+        for index in range(per_level):
+            digit = (index // stride) % arity
+            lower = rid(level, index)
+            # lower's up groups follow its down groups (or its host
+            # ports at level 0); upper's down groups come first.
+            up_base = hpl if level == 0 else arity * fat_width
+            for v in range(arity):
+                upper_index = index + (v - digit) * stride
+                upper = rid(level + 1, upper_index)
+                adjacency[(lower, upper)] = group(up_base + v * fat_width)
+                adjacency[(upper, lower)] = group(digit * fat_width)
+
+    hosts = []
+    host_router: Dict[int, int] = {}
+    host_port: Dict[int, int] = {}
+    for leaf in range(per_level):
+        for h in range(hpl):
+            node = leaf * hpl + h
+            hosts.append((node, leaf, h))
+            host_router[node] = leaf
+            host_port[node] = h
+
+    leaf_ports = hpl + arity * fat_width
+    mid_ports = 2 * arity * fat_width
+    top_ports = arity * fat_width
+    ports_per_router = max(
+        leaf_ports, top_ports, mid_ports if levels > 2 else 0
+    )
+
+    table = _updown_tables(
+        num_routers, level_of, adjacency, host_router, host_port
+    )
+    name = f"butterfly-a{arity}n{levels}h{hpl}w{fat_width}"
+    return Topology(
+        name=name,
+        num_routers=num_routers,
+        ports_per_router=ports_per_router,
+        hosts=hosts,
+        channels=_wire_levelled(level_of, adjacency),
+        routing=TableRouting(table, name=name),
+        extras={
+            "generator": "butterfly",
+            "arity": arity,
+            "tree_levels": levels,
+            "hosts_per_leaf": hpl,
+            "fat_width": fat_width,
+            "levels": tuple(level_of),
         },
     )

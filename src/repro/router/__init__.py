@@ -15,24 +15,31 @@ from repro.router.config import (
     RoutingMode,
 )
 from repro.router.router import WormholeRouter
+from repro.router.routeprog import RouteProgram, compile_routes
 from repro.router.routing import (
+    CompiledRouting,
     FatMeshRouting,
     RoutingFunction,
     SingleSwitchRouting,
+    TableRouting,
 )
 
 __all__ = [
+    "CompiledRouting",
     "CrossbarKind",
     "FatMeshRouting",
     "InputVC",
     "Message",
     "OutputVC",
     "QosPlacement",
+    "RouteProgram",
     "RouterConfig",
     "RoutingFunction",
     "RoutingMode",
     "SingleSwitchRouting",
+    "TableRouting",
     "TrafficClass",
     "WormholeRouter",
+    "compile_routes",
     "messages_for_frame",
 ]

@@ -1,0 +1,365 @@
+"""Compiled route programs: per-topology routing as flat indexed data.
+
+A :class:`RouteProgram` is the routing layer of one topology compiled
+into immutable flat structures — built exactly once per topology by
+:func:`compile_routes` and shared, read-only, by every router and every
+:class:`~repro.network.network.Network` instantiated over it:
+
+* destination nodes map to dense *slots* (``node_slot``; the common
+  case of node ids ``0..H-1`` short-circuits the dict entirely);
+* candidate port groups are deduplicated into one ``groups`` tuple
+  (a 16-pod fat tree has 320 routers x 1024 destinations but only a
+  few hundred distinct groups);
+* the primary and alternate (Y-then-X) tables become per-router integer
+  rows (``primary[rid][slot] -> group id``, ``-1`` = no route), which
+  is the representation the ROADMAP's numpy array backend indexes
+  directly;
+* detour fallbacks stay sparse: ``detours[(rid, slot)]`` is an ordered
+  tuple of ``(group id, flavor)`` pairs.
+
+Mutable routing state — the health mask a failover campaign applies via
+``mask_port``/``unmask_port`` and the reroute/detour counters — lives
+*outside* the program, in per-router :class:`RouterRouteView` overlays
+owned by a :class:`~repro.router.routing.CompiledRouting` facade.  A
+facade is cheap to ``fork()`` (the program is shared by reference), so
+cached topologies can serve many networks without ever leaking mask
+state between runs.
+
+The module-level compile counter exists for the construction-count
+tests: building a topology compiles its program exactly once, and
+nothing downstream (network assembly, forking, sweep repetition over a
+cached topology) may compile again.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import RoutingError
+
+#: detour flavours: which dimension-order table a detoured message uses
+#: for the rest of its journey (None = the primary table)
+FLAVOR_XY = "xy"
+FLAVOR_YX = "yx"
+
+#: total RouteProgram compilations in this process (see compile_count)
+_COMPILE_COUNT = 0
+
+
+def compile_count() -> int:
+    """Process-wide number of :func:`compile_routes` invocations.
+
+    Tests assert the *delta* of this counter around topology reuse: one
+    compile per distinct topology, zero for additional networks, forks,
+    or cache hits.
+    """
+    return _COMPILE_COUNT
+
+
+class RouteProgram:
+    """Immutable compiled routing tables for one topology."""
+
+    __slots__ = (
+        "name",
+        "num_routers",
+        "nodes",
+        "node_slot",
+        "dense",
+        "groups",
+        "primary",
+        "alt",
+        "detours",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        num_routers: int,
+        nodes: Tuple[int, ...],
+        node_slot: Dict[int, int],
+        dense: bool,
+        groups: Tuple[Tuple[int, ...], ...],
+        primary: Tuple[Tuple[int, ...], ...],
+        alt: Optional[Tuple[Optional[Tuple[int, ...]], ...]],
+        detours: Dict[Tuple[int, int], Tuple[Tuple[int, str], ...]],
+    ) -> None:
+        self.name = name
+        self.num_routers = num_routers
+        self.nodes = nodes
+        self.node_slot = node_slot
+        self.dense = dense
+        self.groups = groups
+        self.primary = primary
+        self.alt = alt
+        self.detours = detours
+
+    # -- queries (stateless; the mask lives in RouterRouteView) --------
+
+    def slot_of(self, node: int) -> int:
+        """Dense slot of a node id, or ``-1`` when unknown."""
+        if self.dense:
+            return node if 0 <= node < len(self.nodes) else -1
+        return self.node_slot.get(node, -1)
+
+    def candidates(self, router_id: int, dst_node: int) -> Tuple[int, ...]:
+        """Primary candidate ports; raises :class:`RoutingError` if none."""
+        gid = -1
+        if 0 <= router_id < self.num_routers:
+            slot = self.slot_of(dst_node)
+            if slot >= 0:
+                gid = self.primary[router_id][slot]
+        if gid < 0:
+            raise RoutingError(
+                f"router {router_id}: no route to node {dst_node}"
+            )
+        return self.groups[gid]
+
+    def alt_candidates(
+        self, router_id: int, dst_node: int
+    ) -> Optional[Tuple[int, ...]]:
+        """Alternate-table (Y-then-X) ports, or None without an entry."""
+        if self.alt is None or not 0 <= router_id < self.num_routers:
+            return None
+        row = self.alt[router_id]
+        if row is None:
+            return None
+        slot = self.slot_of(dst_node)
+        if slot < 0:
+            return None
+        gid = row[slot]
+        return None if gid < 0 else self.groups[gid]
+
+    def detour_options(
+        self, router_id: int, dst_node: int
+    ) -> Tuple[Tuple[Tuple[int, ...], str], ...]:
+        """Ordered ``(ports, flavor)`` fallbacks for a masked primary."""
+        slot = self.slot_of(dst_node)
+        if slot < 0:
+            return ()
+        return tuple(
+            (self.groups[gid], flavor)
+            for gid, flavor in self.detours.get((router_id, slot), ())
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """Size/shape accounting (``mediaworm topo``, diagnostics)."""
+        entries = sum(
+            1 for row in self.primary for gid in row if gid >= 0
+        )
+        alt_entries = 0
+        if self.alt is not None:
+            alt_entries = sum(
+                1
+                for row in self.alt
+                if row is not None
+                for gid in row
+                if gid >= 0
+            )
+        group_sizes = [len(g) for g in self.groups]
+        return {
+            "name": self.name,
+            "routers": self.num_routers,
+            "destinations": len(self.nodes),
+            "dense_nodes": self.dense,
+            "entries": entries,
+            "alt_entries": alt_entries,
+            "detour_entries": len(self.detours),
+            "unique_groups": len(self.groups),
+            "max_group_size": max(group_sizes, default=0),
+            "table_ints": self.num_routers * len(self.nodes),
+        }
+
+
+def compile_routes(
+    table: Mapping[Tuple[int, int], Tuple[int, ...]],
+    alt_table: Optional[Mapping[Tuple[int, int], Tuple[int, ...]]] = None,
+    detours: Optional[
+        Mapping[Tuple[int, int], Tuple[Tuple[Tuple[int, ...], str], ...]]
+    ] = None,
+    *,
+    name: str = "table",
+    num_routers: Optional[int] = None,
+) -> RouteProgram:
+    """Compile dict routing tables into one :class:`RouteProgram`.
+
+    The input is the generator-native form — ``(router_id, dst_node) ->
+    ports`` mappings — and the output is the flat indexed program every
+    router queries.  Candidate tuples are preserved exactly (same ports,
+    same order), so a compiled topology is bit-identical to the historic
+    dict-per-lookup behaviour.  Empty candidate groups are rejected
+    here, the single validation point.
+    """
+    global _COMPILE_COUNT
+    _COMPILE_COUNT += 1
+
+    nodes_seen: Set[int] = set()
+    max_router = -1
+    for (rid, node), ports in table.items():
+        if not ports:
+            raise RoutingError(f"empty routing entry for {(rid, node)}")
+        nodes_seen.add(node)
+        if rid > max_router:
+            max_router = rid
+    for (rid, node), ports in (alt_table or {}).items():
+        nodes_seen.add(node)
+        if rid > max_router:
+            max_router = rid
+    if num_routers is None:
+        num_routers = max_router + 1
+    nodes = tuple(sorted(nodes_seen))
+    dense = nodes == tuple(range(len(nodes)))
+    node_slot = {node: slot for slot, node in enumerate(nodes)}
+
+    groups: List[Tuple[int, ...]] = []
+    group_ids: Dict[Tuple[int, ...], int] = {}
+
+    def intern_group(ports: Tuple[int, ...]) -> int:
+        ports = tuple(ports)
+        gid = group_ids.get(ports)
+        if gid is None:
+            gid = len(groups)
+            group_ids[ports] = gid
+            groups.append(ports)
+        return gid
+
+    num_slots = len(nodes)
+    primary_rows = [[-1] * num_slots for _ in range(num_routers)]
+    for (rid, node), ports in table.items():
+        primary_rows[rid][node_slot[node]] = intern_group(ports)
+
+    alt_rows: Optional[List[Optional[Tuple[int, ...]]]] = None
+    if alt_table:
+        alt_mut: List[Optional[List[int]]] = [None] * num_routers
+        for (rid, node), ports in alt_table.items():
+            if not ports:
+                raise RoutingError(
+                    f"empty alternate routing entry for {(rid, node)}"
+                )
+            row = alt_mut[rid]
+            if row is None:
+                row = [-1] * num_slots
+                alt_mut[rid] = row
+            row[node_slot[node]] = intern_group(ports)
+        alt_rows = [
+            None if row is None else tuple(row) for row in alt_mut
+        ]
+
+    detour_map: Dict[Tuple[int, int], Tuple[Tuple[int, str], ...]] = {}
+    for (rid, node), options in (detours or {}).items():
+        compiled = tuple(
+            (intern_group(ports), flavor) for ports, flavor in options
+        )
+        if compiled:
+            detour_map[(rid, node_slot[node])] = compiled
+
+    return RouteProgram(
+        name=name,
+        num_routers=num_routers,
+        nodes=nodes,
+        node_slot=node_slot,
+        dense=dense,
+        groups=tuple(groups),
+        primary=tuple(tuple(row) for row in primary_rows),
+        alt=None if alt_rows is None else tuple(alt_rows),
+        detours=detour_map,
+    )
+
+
+class RouterRouteView:
+    """One router's window onto a shared program: mask overlay + lookups.
+
+    The view holds the *only* mutable routing state of its router — the
+    set of health-masked ports — plus bound references into the shared
+    program rows, so the per-header hot path is two tuple indexes.  The
+    owning :class:`~repro.router.routing.CompiledRouting` facade
+    aggregates the ``reroutes``/``detours_taken`` counters across its
+    views (the health summary reads them per network, not per router).
+    """
+
+    __slots__ = (
+        "router_id",
+        "masked_ports",
+        "_owner",
+        "_program",
+        "_groups",
+        "_primary",
+        "_alt",
+        "_dense",
+        "_num_slots",
+    )
+
+    def __init__(self, owner, program: RouteProgram, router_id: int) -> None:
+        self.router_id = router_id
+        self.masked_ports: Set[int] = set()
+        self._owner = owner
+        self._program = program
+        self._groups = program.groups
+        in_range = 0 <= router_id < program.num_routers
+        self._primary = program.primary[router_id] if in_range else None
+        self._alt = (
+            program.alt[router_id]
+            if in_range and program.alt is not None
+            else None
+        )
+        self._dense = program.dense
+        self._num_slots = len(program.nodes)
+
+    def _slot(self, dst_node: int) -> int:
+        if self._dense:
+            return dst_node if 0 <= dst_node < self._num_slots else -1
+        return self._program.node_slot.get(dst_node, -1)
+
+    def candidates(self, dst_node: int) -> Tuple[int, ...]:
+        row = self._primary
+        if row is not None:
+            slot = self._slot(dst_node)
+            if slot >= 0:
+                gid = row[slot]
+                if gid >= 0:
+                    return self._groups[gid]
+        raise RoutingError(
+            f"router {self.router_id}: no route to node {dst_node}"
+        )
+
+    def route_adaptive(
+        self, dst_node: int, flavor: Optional[str]
+    ) -> Tuple[Tuple[int, ...], Optional[str]]:
+        """Candidates with this router's mask overlay applied.
+
+        Same contract and same decision order as the historic
+        ``TableRouting.route_adaptive``: alternate table for ``"yx"``
+        worms, fat-group shrink, ordered detour fallback, and finally
+        the (masked) primary so a fully dead neighbourhood blocks
+        rather than silently dropping the worm.
+        """
+        primary = None
+        if flavor == FLAVOR_YX and self._alt is not None:
+            slot = self._slot(dst_node)
+            if slot >= 0:
+                gid = self._alt[slot]
+                if gid >= 0:
+                    primary = self._groups[gid]
+        if primary is None:
+            primary = self.candidates(dst_node)
+        masked = self.masked_ports
+        if not masked:
+            return primary, flavor
+        healthy = tuple(p for p in primary if p not in masked)
+        if healthy:
+            if len(healthy) < len(primary):
+                self._owner.reroutes += 1
+            return healthy, flavor
+        slot = self._slot(dst_node)
+        for gid, detour_flavor in self._program.detours.get(
+            (self.router_id, slot), ()
+        ):
+            ports = self._groups[gid]
+            open_ports = tuple(p for p in ports if p not in masked)
+            if open_ports:
+                self._owner.detours_taken += 1
+                return open_ports, detour_flavor
+        # Every option is masked: keep requesting the primary group.
+        # The worm blocks there until the port recovers or the
+        # end-to-end layer times it out — losing it outright would
+        # undercount deliverable traffic after a recovery.
+        return primary, flavor

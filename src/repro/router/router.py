@@ -55,6 +55,10 @@ class WormholeRouter:
         self.router_id = router_id
         self.config = config
         self.routing = routing
+        #: per-router routing handle: candidate lookups without the
+        #: router-id indirection, and (on compiled route programs) the
+        #: thin mask overlay adaptive failover mutates for this router
+        self._route_view = routing.router_view(router_id)
         n, m = config.num_ports, config.vcs_per_pc
         self.inputs: List[List[InputVC]] = [
             [InputVC(p, v, config.flit_buffer_depth) for v in range(m)]
@@ -483,8 +487,8 @@ class WormholeRouter:
             return False
         if vc.route_port < 0:
             if self._adaptive:
-                ports, flavor = self.routing.route_adaptive(
-                    self.router_id, msg.dst_node, msg.detoured
+                ports, flavor = self._route_view.route_adaptive(
+                    msg.dst_node, msg.detoured
                 )
                 if flavor != msg.detoured:
                     # Entering a detour needs an escape VC; a partition
@@ -492,13 +496,11 @@ class WormholeRouter:
                     # stays on the (masked) primary route and the
                     # recovery layer owns its fate.
                     if not self._multi_vc[msg.is_real_time]:
-                        ports = self.routing.candidates(
-                            self.router_id, msg.dst_node
-                        )
+                        ports = self._route_view.candidates(msg.dst_node)
                     else:
                         msg.detoured = flavor
             else:
-                ports = self.routing.candidates(self.router_id, msg.dst_node)
+                ports = self._route_view.candidates(msg.dst_node)
             vc.route_port = self._select_output_port(clock, ports)
             if self.trace is not None:
                 self.trace.on_event(

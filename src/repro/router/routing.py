@@ -7,26 +7,46 @@ toward the same neighbour are interchangeable and the router picks the
 less-loaded one (section 3.4: "a message can use any one of the two
 links to traverse to the next node based on the current load").
 
-Fault-aware (adaptive) routing adds a dynamic *mask* on top: the
-link-health monitor marks a ``(router, port)`` down and
+Since the route-program refactor the tables themselves live in an
+immutable, compiled :class:`~repro.router.routeprog.RouteProgram`
+(built exactly once per topology); the :class:`CompiledRouting` facade
+layers per-router *mask overlays* on top for fault-aware (adaptive)
+routing: the link-health monitor marks a ``(router, port)`` down and
 :meth:`route_adaptive` shrinks the candidate group to its healthy
 members.  When a fat group empties entirely the message falls back to a
 precomputed *detour*: a perpendicular first hop plus a switch of
 dimension order (X-then-Y traffic detouring around a dead X group
 continues Y-then-X, and vice versa), riding the escape VC to stay
 deadlock-free.  See ``docs/simulator-internals.md``.
+
+A facade is ``fork()``-able: the fork shares the compiled program but
+starts with clean overlays and counters, which is what lets one cached
+topology serve many networks (sweep workers, repeat runs) without mask
+state or statistics ever leaking between runs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Set, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.errors import RoutingError
+from repro.router.routeprog import (
+    FLAVOR_XY,
+    FLAVOR_YX,
+    RouteProgram,
+    RouterRouteView,
+    compile_routes,
+)
 
-#: detour flavours: which dimension-order table a detoured message uses
-#: for the rest of its journey (None = the primary table)
-FLAVOR_XY = "xy"
-FLAVOR_YX = "yx"
+__all__ = [
+    "FLAVOR_XY",
+    "FLAVOR_YX",
+    "CompiledRouting",
+    "FatMeshRouting",
+    "RoutingFunction",
+    "SingleSwitchRouting",
+    "TableRouting",
+]
 
 
 class RoutingFunction:
@@ -35,6 +55,25 @@ class RoutingFunction:
     def candidates(self, router_id: int, dst_node: int) -> Tuple[int, ...]:
         """Output ports (non-empty tuple) a header may request."""
         raise NotImplementedError
+
+    def fork(self) -> "RoutingFunction":
+        """A facade for one network's private mutable routing state.
+
+        Stateless routing functions may return ``self``; anything
+        carrying a health mask or counters must return a fresh facade
+        over the same (shared, immutable) route tables.
+        """
+        return self
+
+    def router_view(self, router_id: int):
+        """Per-router accessor bound to ``router_id`` (hot-path handle).
+
+        Routers call ``view.candidates(dst)`` /
+        ``view.route_adaptive(dst, flavor)`` without re-passing their
+        id every header.  The default adapter just forwards to the
+        two-argument interface methods.
+        """
+        return _BoundView(self, router_id)
 
     # -- fault awareness (no-ops for topologies without redundancy) ----
 
@@ -47,6 +86,18 @@ class RoutingFunction:
     def masked(self, router_id: int) -> "frozenset[int]":
         """Currently masked ports of one router (diagnostics)."""
         return frozenset()
+
+    def alt_candidates(
+        self, router_id: int, dst_node: int
+    ) -> Optional[Tuple[int, ...]]:
+        """Alternate-table ports (Y-then-X), or None without one."""
+        return None
+
+    def detour_options(
+        self, router_id: int, dst_node: int
+    ) -> Tuple[Tuple[Tuple[int, ...], str], ...]:
+        """Ordered ``(ports, flavor)`` fallbacks for a masked primary."""
+        return ()
 
     def route_adaptive(
         self, router_id: int, dst_node: int, flavor: Optional[str]
@@ -63,8 +114,27 @@ class RoutingFunction:
         return self.candidates(router_id, dst_node), flavor
 
 
+class _BoundView:
+    """Generic per-router adapter for custom routing functions."""
+
+    __slots__ = ("_routing", "router_id")
+
+    def __init__(self, routing: RoutingFunction, router_id: int) -> None:
+        self._routing = routing
+        self.router_id = router_id
+
+    def candidates(self, dst_node: int) -> Tuple[int, ...]:
+        return self._routing.candidates(self.router_id, dst_node)
+
+    def route_adaptive(self, dst_node: int, flavor: Optional[str]):
+        return self._routing.route_adaptive(self.router_id, dst_node, flavor)
+
+
 class SingleSwitchRouting(RoutingFunction):
-    """Routing inside one switch: each host hangs off one port."""
+    """Routing inside one switch: each host hangs off one port.
+
+    Stateless (no mask, no counters), so ``fork`` shares the instance.
+    """
 
     def __init__(self, host_ports: Mapping[int, int]) -> None:
         self._host_ports: Dict[int, int] = dict(host_ports)
@@ -78,18 +148,77 @@ class SingleSwitchRouting(RoutingFunction):
             ) from None
 
 
-class TableRouting(RoutingFunction):
+class CompiledRouting(RoutingFunction):
+    """Mutable facade over an immutable :class:`RouteProgram`.
+
+    Holds one :class:`RouterRouteView` per router (created lazily, and
+    handed to the router itself as its hot-path handle) plus the
+    aggregated reroute/detour counters the health summary reports.
+    All table data stays in the shared program; ``fork`` therefore
+    costs a few object allocations, never a recompile.
+    """
+
+    def __init__(self, program: RouteProgram) -> None:
+        self.program = program
+        self._views: Dict[int, RouterRouteView] = {}
+        #: fat groups shrunk around a masked sibling (counter)
+        self.reroutes = 0
+        #: primary group fully masked, detour fallback used (counter)
+        self.detours_taken = 0
+
+    def fork(self) -> "CompiledRouting":
+        return CompiledRouting(self.program)
+
+    def router_view(self, router_id: int) -> RouterRouteView:
+        view = self._views.get(router_id)
+        if view is None:
+            view = RouterRouteView(self, self.program, router_id)
+            self._views[router_id] = view
+        return view
+
+    # -- two-argument interface (stateless queries + health hooks) -----
+
+    def candidates(self, router_id: int, dst_node: int) -> Tuple[int, ...]:
+        return self.program.candidates(router_id, dst_node)
+
+    def alt_candidates(
+        self, router_id: int, dst_node: int
+    ) -> Optional[Tuple[int, ...]]:
+        return self.program.alt_candidates(router_id, dst_node)
+
+    def detour_options(
+        self, router_id: int, dst_node: int
+    ) -> Tuple[Tuple[Tuple[int, ...], str], ...]:
+        return self.program.detour_options(router_id, dst_node)
+
+    def mask_port(self, router_id: int, port: int) -> None:
+        self.router_view(router_id).masked_ports.add(port)
+
+    def unmask_port(self, router_id: int, port: int) -> None:
+        view = self._views.get(router_id)
+        if view is not None:
+            view.masked_ports.discard(port)
+
+    def masked(self, router_id: int) -> "frozenset[int]":
+        view = self._views.get(router_id)
+        return frozenset() if view is None else frozenset(view.masked_ports)
+
+    def route_adaptive(
+        self, router_id: int, dst_node: int, flavor: Optional[str]
+    ) -> Tuple[Tuple[int, ...], Optional[str]]:
+        return self.router_view(router_id).route_adaptive(dst_node, flavor)
+
+
+class TableRouting(CompiledRouting):
     """Precomputed routing table for multi-router topologies.
 
-    The table is built once by the topology constructor (dimension-order
-    for meshes), so the per-header cost is a dictionary lookup.  Entries
-    with several ports are fat-link groups.
-
-    ``alt_table`` is the opposite dimension order (Y-then-X for a mesh
-    routed X-then-Y) used by messages carrying the ``"yx"`` detour
-    flavour; ``detours`` maps ``(router_id, dst_node)`` to an ordered
-    tuple of ``(ports, flavor)`` fallbacks tried when the primary group
-    is fully masked.  Both are optional — a topology without them keeps
+    Accepts the generator-native dict form — ``(router_id, dst_node) ->
+    ports`` plus the optional ``alt_table`` (the opposite dimension
+    order, ridden by messages carrying the ``"yx"`` detour flavour) and
+    ``detours`` (ordered ``(ports, flavor)`` fallbacks tried when the
+    primary group is fully masked) — and compiles it into a shared
+    :class:`RouteProgram` at construction.  Entries with several ports
+    are fat-link groups; a topology without alternates keeps
     masked-group traffic on the primary route (recovery handles it).
     """
 
@@ -100,76 +229,11 @@ class TableRouting(RoutingFunction):
         detours: Optional[
             Mapping[Tuple[int, int], Tuple[Tuple[Tuple[int, ...], str], ...]]
         ] = None,
+        name: str = "table",
     ) -> None:
-        self._table: Dict[Tuple[int, int], Tuple[int, ...]] = dict(table)
-        for key, ports in self._table.items():
-            if not ports:
-                raise RoutingError(f"empty routing entry for {key}")
-        self._alt_table: Dict[Tuple[int, int], Tuple[int, ...]] = dict(
-            alt_table or {}
+        super().__init__(
+            compile_routes(table, alt_table, detours, name=name)
         )
-        self._detours: Dict[
-            Tuple[int, int], Tuple[Tuple[Tuple[int, ...], str], ...]
-        ] = dict(detours or {})
-        self._masked: Dict[int, Set[int]] = {}
-        #: fat groups shrunk around a masked sibling (counter)
-        self.reroutes = 0
-        #: primary group fully masked, detour fallback used (counter)
-        self.detours_taken = 0
-
-    def candidates(self, router_id: int, dst_node: int) -> Tuple[int, ...]:
-        try:
-            return self._table[(router_id, dst_node)]
-        except KeyError:
-            raise RoutingError(
-                f"router {router_id}: no route to node {dst_node}"
-            ) from None
-
-    # -- fault awareness ----------------------------------------------
-
-    def mask_port(self, router_id: int, port: int) -> None:
-        self._masked.setdefault(router_id, set()).add(port)
-
-    def unmask_port(self, router_id: int, port: int) -> None:
-        ports = self._masked.get(router_id)
-        if ports is not None:
-            ports.discard(port)
-            if not ports:
-                del self._masked[router_id]
-
-    def masked(self, router_id: int) -> "frozenset[int]":
-        return frozenset(self._masked.get(router_id, ()))
-
-    def route_adaptive(
-        self, router_id: int, dst_node: int, flavor: Optional[str]
-    ) -> Tuple[Tuple[int, ...], Optional[str]]:
-        primary = (
-            self._alt_table.get((router_id, dst_node))
-            if flavor == FLAVOR_YX
-            else None
-        )
-        if primary is None:
-            primary = self.candidates(router_id, dst_node)
-        masked = self._masked.get(router_id)
-        if not masked:
-            return primary, flavor
-        healthy = tuple(p for p in primary if p not in masked)
-        if healthy:
-            if len(healthy) < len(primary):
-                self.reroutes += 1
-            return healthy, flavor
-        for ports, detour_flavor in self._detours.get(
-            (router_id, dst_node), ()
-        ):
-            open_ports = tuple(p for p in ports if p not in masked)
-            if open_ports:
-                self.detours_taken += 1
-                return open_ports, detour_flavor
-        # Every option is masked: keep requesting the primary group.
-        # The worm blocks there until the port recovers or the
-        # end-to-end layer times it out — losing it outright would
-        # undercount deliverable traffic after a recovery.
-        return primary, flavor
 
 
 class FatMeshRouting(TableRouting):

@@ -1,0 +1,105 @@
+"""The scale campaign and its CLI surfaces (``topo``, ``scale``).
+
+Includes the acceptance run for the datacenter scale-up: a 1024-host
+3-level fat tree completes under an armed progress watchdog with
+bit-identical digests across the active-set loop, an active repeat,
+and the legacy full-scan loop — while compiling its route program at
+most once.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.cli import main as cli_main
+from repro.experiments.scale import (
+    SCALE_POINTS,
+    SMOKE_POINTS,
+    run_scale_campaign,
+    run_scale_point,
+    scale_campaign_to_text,
+)
+from repro.experiments.topo import build_topology, describe_topology
+
+
+class TestScalePoints:
+    def test_smoke_points_are_known(self):
+        for name in SMOKE_POINTS:
+            assert name in SCALE_POINTS
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scale point"):
+            run_scale_point("ft3-9999")
+
+    def test_small_point_identical_and_compile_once(self):
+        record = run_scale_point("ft3-16")
+        assert record["identical"]
+        assert record["compile_once"]
+        assert record["compiles_repeat_run"] == 0
+        assert record["watchdog_window"] > 0
+        assert record["flits_injected"] > 0
+        assert record["topology"]["hosts"] == 16
+
+    def test_campaign_summary_and_text(self):
+        summary = run_scale_campaign(points=("bfly-64",))
+        assert summary["ok"]
+        text = scale_campaign_to_text(summary)
+        assert "bfly-64" in text
+        assert "overall: OK" in text
+
+
+class TestThousandHostAcceptance:
+    def test_1024_hosts_bit_identical_on_both_loops(self):
+        """ft3-1024: 320 switches, 1024 hosts, watchdog armed.
+
+        The slowest test in the suite by design — it is the scale
+        claim itself.  Three full runs (active, repeat, legacy) must
+        produce one digest, and the repeat must hit the topology
+        cache (zero route-program compiles).
+        """
+        record = run_scale_point("ft3-1024")
+        assert record["topology"]["hosts"] == 1024
+        assert record["topology"]["routers"] == 320
+        assert record["identical"], "loop digests diverged at 1024 hosts"
+        assert record["compile_once"]
+        assert record["flits_ejected"] > 0
+
+
+class TestTopoCommand:
+    def test_build_and_describe(self, capsys):
+        topology = build_topology("fat_tree3", k=4)
+        text = describe_topology(topology)
+        assert "switches          20" in text
+        assert "hosts             16" in text
+        assert "table_ints" in text
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="unknown topology"):
+            build_topology("torus")
+
+    def test_wrong_flag_for_kind(self):
+        with pytest.raises(ConfigurationError, match="does not take"):
+            build_topology("single", k=4)
+
+    def test_cli_topo(self, capsys):
+        assert cli_main(["topo", "butterfly", "--arity", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "butterfly" in out
+        assert "route program" in out
+
+    def test_cli_scale_smoke_point(self, capsys, tmp_path):
+        out_json = tmp_path / "scale.json"
+        code = cli_main(
+            ["scale", "--points", "ft3-16", "--json", str(out_json)]
+        )
+        assert code == 0
+        summary = json.loads(out_json.read_text())
+        assert summary["ok"]
+        assert summary["points"][0]["name"] == "ft3-16"
+
+    def test_cli_list_mentions_new_commands(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "topo" in out
+        assert "scale" in out
