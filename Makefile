@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint coverage bench bench-default bench-smoke repro faults-smoke failover-smoke trace-smoke chaos-smoke scale-smoke scale examples clean
+.PHONY: install test lint coverage bench bench-default bench-smoke repro faults-smoke failover-smoke disaster-smoke trace-smoke chaos-smoke scale-smoke scale examples clean
 
 # conservative floor just under the suite's measured line coverage of
 # src/repro; ratchet upward as coverage grows, never downward
@@ -49,6 +49,12 @@ failover-smoke:   ## adaptive vs static with 2 permanent failures, CI-sized
 		--severities 0,2 --fresh \
 		--checkpoint mediaworm-failover-smoke.checkpoint.json \
 		--json FAILOVER_smoke.json
+
+disaster-smoke:   ## switch-kill failover on the k=8 fat tree + butterfly
+	$(PYTHON) -m repro.experiments.cli disaster --profile smoke \
+		--severities none,link,switch --jobs 2 --fresh \
+		--checkpoint mediaworm-disaster-smoke.checkpoint.json \
+		--json DISASTER_smoke.json
 
 trace-smoke:      ## traced run (invariants on) + JSONL schema validation
 	$(PYTHON) -m repro.experiments.cli trace --preset smoke \

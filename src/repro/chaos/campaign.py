@@ -40,8 +40,10 @@ from repro.chaos.scenario import (
     Scenario,
     ScenarioSpace,
     generate,
+    scenario_topology,
 )
 from repro.errors import ChaosFailure, ConfigurationError
+from repro.faults import expand_domain
 from repro.experiments.parallel import ParallelSweepExecutor, SweepTask
 from repro.experiments.resilience import SweepCheckpoint, wall_clock_limit
 from repro.experiments.runner import (
@@ -224,6 +226,36 @@ def _candidates(scenario: Scenario) -> Iterator[Tuple[str, Scenario]]:
                 faults=dataclasses.replace(plan, down_windows=windows),
             ),
         )
+    for index in range(len(plan.domains)):
+        rest = plan.domains[:index] + plan.domains[index + 1 :]
+        yield (
+            f"drop-domain-{index}",
+            dataclasses.replace(
+                scenario,
+                faults=dataclasses.replace(plan, domains=rest),
+            ),
+        )
+        # demote the correlated fault to its constituent link windows,
+        # so the drop-window passes can then bisect down to the one
+        # link that actually matters
+        try:
+            expanded = expand_domain(
+                plan.domains[index], scenario_topology(scenario)
+            )
+        except ConfigurationError:
+            expanded = ()
+        if expanded:
+            yield (
+                f"demote-domain-{index}",
+                dataclasses.replace(
+                    scenario,
+                    faults=dataclasses.replace(
+                        plan,
+                        domains=rest,
+                        down_windows=plan.down_windows + expanded,
+                    ),
+                ),
+            )
     if plan.flit_corrupt_prob > 0:
         yield (
             "zero-corrupt",
@@ -241,15 +273,18 @@ def _candidates(scenario: Scenario) -> Iterator[Tuple[str, Scenario]]:
             ),
         )
     if scenario.topology != "single":
-        # down-window labels name multi-router channels, so the
-        # single-switch twin drops them along with the topology
+        # down windows and domains name multi-router channels and
+        # switches, so the single-switch twin drops them with the
+        # topology
         yield (
             "shrink-topology",
             dataclasses.replace(
                 scenario,
                 topology="single",
                 routing_mode=RoutingMode.ORACLE,
-                faults=dataclasses.replace(plan, down_windows=()),
+                faults=dataclasses.replace(
+                    plan, down_windows=(), domains=()
+                ),
             ),
         )
     if scenario.routing_mode != RoutingMode.ORACLE:

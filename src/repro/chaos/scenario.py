@@ -40,7 +40,12 @@ from repro.experiments.config import (
     FatTree3Experiment,
     SingleSwitchExperiment,
 )
-from repro.faults import FaultPlan, LinkDownWindow, RecoveryConfig
+from repro.faults import (
+    DomainDownWindow,
+    FaultPlan,
+    LinkDownWindow,
+    RecoveryConfig,
+)
 from repro.network.health import HealthConfig
 from repro.network.topology import butterfly, fat_mesh, fat_tree3
 from repro.obs.events import TraceSpec
@@ -349,6 +354,36 @@ class Scenario:
         )
 
 
+def scenario_topology(scenario: Scenario):
+    """Build the concrete topology a multi-router scenario runs on.
+
+    Used by the generator (to enumerate link labels and switch ids)
+    and by the shrinker (to expand a domain fault into its constituent
+    link windows).
+    """
+    if scenario.topology == "mesh":
+        return fat_mesh(
+            rows=scenario.rows,
+            cols=scenario.cols,
+            hosts_per_router=scenario.hosts_per_router,
+            fat_width=scenario.fat_width,
+        )
+    if scenario.topology == "tree":
+        return fat_tree3(
+            k=scenario.tree_k,
+            hosts_per_leaf=scenario.hosts_per_leaf,
+        )
+    if scenario.topology == "butterfly":
+        return butterfly(
+            arity=scenario.bfly_arity,
+            levels=scenario.bfly_levels,
+            hosts_per_leaf=scenario.hosts_per_leaf,
+        )
+    raise ConfigurationError(
+        f"scenario topology {scenario.topology!r} has no router fabric"
+    )
+
+
 # ----------------------------------------------------------------------
 # the scenario space
 
@@ -390,9 +425,15 @@ class ScenarioSpace:
     #: of the zero-fault scenarios: fraction run with (passive) health
     #: monitoring, checked bit-identical against an unmonitored twin
     health_fraction: float = 0.5
-    #: of the faulted mesh scenarios: fraction run with the full
-    #: adaptive-failover stack (symptom-driven rerouting + degradation)
+    #: of the faulted mesh/tree/butterfly scenarios: fraction run with
+    #: the full adaptive-failover stack (symptom-driven rerouting,
+    #: switch-level suspicion and degradation)
     adaptive_fraction: float = 0.4
+    #: of the faulted tree/butterfly scenarios: fraction whose outage is
+    #: drawn switch-shaped (a finite :class:`~repro.faults
+    #: .DomainDownWindow` over a whole switch, or a pod on fat trees)
+    #: instead of individual link windows
+    switch_fault_fraction: float = 0.35
     loss_range: Tuple[float, float] = (0.001, 0.01)
     corrupt_range: Tuple[float, float] = (0.0, 0.005)
     max_down_windows: int = 2
@@ -458,7 +499,7 @@ class ScenarioSpace:
         """Attach a fault plan, its recovery transport, and (sometimes)
         the adaptive-failover stack."""
         adaptive = (
-            scenario.topology == "mesh"
+            scenario.topology in ("mesh", "tree", "butterfly")
             and rng.random() < self.adaptive_fraction
         )
         if adaptive:
@@ -473,11 +514,20 @@ class ScenarioSpace:
         interval = scenario.frame_interval_cycles
         loss = round(rng.uniform(*self.loss_range), 5)
         corrupt = round(rng.uniform(*self.corrupt_range), 5)
-        windows = self._draw_windows(rng, scenario, interval)
+        domains: Tuple[DomainDownWindow, ...] = ()
+        if (
+            scenario.topology in ("tree", "butterfly")
+            and rng.random() < self.switch_fault_fraction
+        ):
+            domains = (self._draw_domain(rng, scenario, interval),)
+            windows: Tuple[LinkDownWindow, ...] = ()
+        else:
+            windows = self._draw_windows(rng, scenario, interval)
         plan = FaultPlan(
             flit_loss_prob=loss,
             flit_corrupt_prob=corrupt,
             down_windows=windows,
+            domains=domains,
         )
         # transport clocks scale with the frame interval, mirroring the
         # fault/failover campaigns; generous retries keep a healthy
@@ -523,6 +573,33 @@ class ScenarioSpace:
             )
         return tuple(windows)
 
+    def _draw_domain(
+        self, rng: random.Random, scenario: Scenario, interval: int
+    ) -> DomainDownWindow:
+        """One finite switch-shaped outage on a tree/butterfly fabric.
+
+        Mirrors :meth:`_draw_windows`' bounds — the outage always ends
+        within half a frame interval, so the recovery transport can
+        repair the damage and no host stays isolated (which keeps
+        :func:`~repro.faults.install_faults` accepting every plan).
+        Fat trees occasionally lose a whole pod instead of one switch.
+        """
+        topology = scenario_topology(scenario)
+        horizon = (
+            scenario.warmup_frames + scenario.measure_frames
+        ) * interval
+        start = rng.randrange(0, max(1, horizon - interval // 2))
+        duration = rng.randint(
+            max(1, interval // 8), max(2, interval // 2)
+        )
+        if scenario.topology == "tree" and rng.random() < 0.25:
+            domain = f"pod:{rng.randrange(scenario.tree_k)}"
+        else:
+            domain = f"switch:{rng.randrange(topology.num_routers)}"
+        return DomainDownWindow(
+            domain=domain, start=start, end=start + duration
+        )
+
     def _link_labels(self, scenario: Scenario) -> List[str]:
         """Concrete link labels a down window may sever."""
         if scenario.topology == "single":
@@ -531,24 +608,7 @@ class ScenarioSpace:
                 for node in range(scenario.num_ports)
                 for half in ("inject", "eject")
             ]
-        if scenario.topology == "mesh":
-            topology = fat_mesh(
-                rows=scenario.rows,
-                cols=scenario.cols,
-                hosts_per_router=scenario.hosts_per_router,
-                fat_width=scenario.fat_width,
-            )
-        elif scenario.topology == "tree":
-            topology = fat_tree3(
-                k=scenario.tree_k,
-                hosts_per_leaf=scenario.hosts_per_leaf,
-            )
-        else:
-            topology = butterfly(
-                arity=scenario.bfly_arity,
-                levels=scenario.bfly_levels,
-                hosts_per_leaf=scenario.hosts_per_leaf,
-            )
+        topology = scenario_topology(scenario)
         return [
             f"ch:{src}.{sp}->{dst}.{dp}"
             for src, sp, dst, dp in topology.channels

@@ -45,6 +45,7 @@ _DESCRIPTIONS = {
     "table3": "PCS connection drop accounting",
     "faults": "QoS degradation under link faults (fat mesh)",
     "failover": "adaptive vs static routing under permanent link failures",
+    "disaster": "switch/pod failures and datacenter failover on trees",
     "trace": "one traced run: JSONL event stream, invariants, profiling",
     "chaos": "randomized differential fault campaign with scenario shrinking",
     "topo": "inspect a topology and its compiled route program",
@@ -224,6 +225,55 @@ def _run_failover(args, profile, executor) -> int:
     _maybe_save(args.json, fig)
     print(failover_campaign_to_text(fig))
     print(f"[failover completed in {time.perf_counter() - started:.1f}s]")
+    checkpoint.clear()
+    return 0
+
+
+def _run_disaster(args, profile, executor) -> int:
+    """The ``mediaworm disaster`` subcommand: datacenter failover."""
+    from repro.experiments.disaster import (
+        DEFAULT_SEVERITIES,
+        disaster_campaign_to_text,
+        run_disaster_campaign,
+    )
+
+    if args.severities:
+        severities = tuple(
+            s.strip() for s in args.severities.split(",") if s.strip()
+        )
+        for severity in severities:
+            if severity not in DEFAULT_SEVERITIES:
+                raise SystemExit(
+                    f"unknown severity {severity!r} (choose from "
+                    f"{', '.join(DEFAULT_SEVERITIES)})"
+                )
+    else:
+        severities = DEFAULT_SEVERITIES
+    path = (
+        args.checkpoint
+        or f"mediaworm-disaster-{args.profile}.checkpoint.json"
+    )
+    checkpoint = SweepCheckpoint(
+        path,
+        meta={
+            "command": "disaster",
+            "profile": args.profile,
+            "severities": list(severities),
+        },
+    )
+    if args.fresh:
+        checkpoint.clear()
+    started = time.perf_counter()
+    fig = run_disaster_campaign(
+        profile,
+        severities,
+        checkpoint=checkpoint,
+        log=print,
+        executor=executor,
+    )
+    _maybe_save(args.json, fig)
+    print(disaster_campaign_to_text(fig))
+    print(f"[disaster completed in {time.perf_counter() - started:.1f}s]")
     checkpoint.clear()
     return 0
 
@@ -546,6 +596,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="discard any existing checkpoint and recompute everything",
     )
 
+    disaster_parser = sub.add_parser(
+        "disaster",
+        help="switch/pod failure campaign on tree fabrics "
+        "(adaptive vs static)",
+    )
+    disaster_parser.add_argument(
+        "--profile", choices=sorted(PROFILES), default="default"
+    )
+    _add_sweep_args(disaster_parser)
+    disaster_parser.add_argument(
+        "--severities",
+        metavar="S1,S2,...",
+        default=None,
+        help="comma-separated severity names from none,link,switch,pod "
+        "(default: all; pod is skipped on the butterfly)",
+    )
+    disaster_parser.add_argument(
+        "--json", metavar="PATH", default=None, help="also write JSON"
+    )
+    disaster_parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="checkpoint file (default: mediaworm-disaster-<profile>"
+        ".checkpoint.json)",
+    )
+    disaster_parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="discard any existing checkpoint and recompute everything",
+    )
+
     trace_parser = sub.add_parser(
         "trace",
         help="run once with structured tracing + invariant checking",
@@ -783,6 +865,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_faults(args, profile, executor)
     if args.command == "failover":
         return _run_failover(args, profile, executor)
+    if args.command == "disaster":
+        return _run_disaster(args, profile, executor)
 
     names = (
         [args.experiment]

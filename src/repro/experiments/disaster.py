@@ -1,0 +1,370 @@
+"""Disaster campaign: datacenter failover under switch/domain failures.
+
+The failover campaign (``mediaworm failover``) kills individual fat-link
+members on a mesh.  This campaign asks the datacenter question: when
+failures arrive *switch- and domain-shaped* — a ToR dies, a whole pod
+loses power — how much guaranteed traffic survives on the fabrics we
+actually scaled to (three-level fat trees and butterflies), and what
+does symptom-driven switch-level failover buy over a blind static
+router?
+
+Severity is swept as an escalation ladder:
+
+* ``none`` — healthy fabric baseline;
+* ``link`` — one up-adjacency of leaf 0 severed (both directions);
+* ``switch`` — a whole switch crashes permanently (the first ToR on the
+  fat tree, sacrificing its hosts; a middle-stage switch on the
+  butterfly, which the alternate-ancestor overlay survives hostlessly);
+* ``pod`` — pod 0 of the fat tree loses power (fat tree only).
+
+Each severity lowers to a :class:`~repro.faults.DomainDownWindow` (or
+plain link windows) landing at the end of warmup.  The two series per
+topology are the routing modes: ``adaptive`` detects the dead switch
+from link symptoms, applies the precomputed
+:class:`~repro.router.routeprog.UpDownFailover` masks so every
+surviving pair re-steers through alternate ancestors, and sheds the
+sessions of provably isolated hosts; ``static`` keeps the detection
+telemetry but takes no action, so only timeout/retransmission limits
+the damage.
+
+Reported per point: delivered QoS fraction over *reachable* hosts (the
+honest failover score — a dead ToR's hosts are unsavable), hosts
+isolated, host downtime, switch downs/time-to-recover, and jitter.
+Points are checkpointed with fingerprinted keys through
+:class:`~repro.experiments.parallel.ParallelSweepExecutor`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments.config import ButterflyExperiment, FatTree3Experiment
+from repro.experiments.faultsweep import (
+    _empty_metrics,
+    _point_from_dict,
+    _point_to_dict,
+)
+from repro.experiments.figures import (
+    FigureData,
+    Point,
+    _base_kwargs,
+    get_profile,
+)
+from repro.experiments.parallel import (
+    ParallelSweepExecutor,
+    SweepTask,
+    sweep_fingerprint,
+)
+from repro.experiments.resilience import SweepCheckpoint
+from repro.experiments.runner import simulate_butterfly, simulate_fat_tree3
+from repro.faults import DomainDownWindow, FaultPlan, RecoveryConfig
+from repro.network.health import HealthConfig
+from repro.network.topology import butterfly, fat_tree3
+from repro.router.config import RoutingMode
+
+#: escalation ladder swept by ``mediaworm disaster``
+DEFAULT_SEVERITIES = ("none", "link", "switch", "pod")
+
+#: routing modes compared, one series each per topology
+CAMPAIGN_MODES = (RoutingMode.ADAPTIVE, RoutingMode.STATIC)
+
+#: campaign topologies (name -> severities it supports)
+CAMPAIGN_TOPOLOGIES: Dict[str, Tuple[str, ...]] = {
+    "fat-tree": ("none", "link", "switch", "pod"),
+    "butterfly": ("none", "link", "switch"),
+}
+
+#: campaign operating point: moderate load, the paper's 80:20 mix
+CAMPAIGN_LOAD = 0.6
+CAMPAIGN_MIX = (80, 20)
+
+#: fat tree shape: k=8 (80 switches), 2 hosts per leaf = 64 hosts —
+#: the smallest tree where a pod kill leaves 3/4 of the fabric healthy
+CAMPAIGN_K = 8
+CAMPAIGN_HOSTS_PER_LEAF = 2
+
+#: butterfly shape: 2-ary 3-tree, 2 hosts per leaf
+CAMPAIGN_ARITY = 2
+CAMPAIGN_LEVELS = 3
+
+
+def _campaign_topology(kind: str):
+    """The concrete topology a campaign point runs on."""
+    if kind == "fat-tree":
+        return fat_tree3(
+            CAMPAIGN_K, hosts_per_leaf=CAMPAIGN_HOSTS_PER_LEAF
+        )
+    return butterfly(
+        CAMPAIGN_ARITY,
+        CAMPAIGN_LEVELS,
+        hosts_per_leaf=CAMPAIGN_HOSTS_PER_LEAF,
+    )
+
+
+def _first_uplink_domain(topology, onset: int) -> DomainDownWindow:
+    """A ``links:`` domain severing leaf 0's first up-adjacency.
+
+    Both directions die (a severed wire), chosen deterministically as
+    the lowest-labelled channel pair between leaf 0 and its first
+    parent so fingerprints are stable.
+    """
+    overlay = topology.routing.overlay
+    # leaves only wire upward, so every adjacency neighbour is a parent
+    parent = min(nbr for (rid, nbr) in overlay.adjacency if rid == 0)
+    labels = sorted(
+        f"ch:{src}.{sp}->{dst}.{dp}"
+        for src, sp, dst, dp in topology.channels
+        if (src, dst) in ((0, parent), (parent, 0))
+    )
+    return DomainDownWindow(
+        domain="links:" + ";".join(labels), start=onset
+    )
+
+
+def _severity_plan(kind: str, severity: str, onset: int) -> FaultPlan:
+    """Lower one severity rung into a fault plan for ``kind``."""
+    if severity not in CAMPAIGN_TOPOLOGIES[kind]:
+        raise ConfigurationError(
+            f"severity {severity!r} is not defined for {kind} "
+            f"(choose from {', '.join(CAMPAIGN_TOPOLOGIES[kind])})"
+        )
+    if severity == "none":
+        return FaultPlan()
+    topology = _campaign_topology(kind)
+    if severity == "link":
+        return FaultPlan(domains=(_first_uplink_domain(topology, onset),))
+    if severity == "switch":
+        if kind == "fat-tree":
+            rid = 0  # the first ToR: its hosts are a deliberate sacrifice
+        else:
+            # a middle-stage switch: no hosts attached, the overlay
+            # must keep every pair routable
+            rid = CAMPAIGN_ARITY ** (CAMPAIGN_LEVELS - 1)
+        return FaultPlan(
+            domains=(DomainDownWindow(f"switch:{rid}", start=onset),)
+        )
+    # pod (fat tree only, enforced above)
+    return FaultPlan(domains=(DomainDownWindow("pod:0", start=onset),))
+
+
+def _campaign_experiment(profile, kind: str, mode: str, severity: str):
+    """One campaign point: tree/butterfly + domain failure + failover."""
+    base_kwargs = dict(
+        load=CAMPAIGN_LOAD,
+        mix=CAMPAIGN_MIX,
+        vcs_per_pc=16,
+        **_base_kwargs(profile),
+    )
+    if kind == "fat-tree":
+        base = FatTree3Experiment(
+            k=CAMPAIGN_K,
+            hosts_per_leaf=CAMPAIGN_HOSTS_PER_LEAF,
+            **base_kwargs,
+        )
+    else:
+        base = ButterflyExperiment(
+            arity=CAMPAIGN_ARITY,
+            levels=CAMPAIGN_LEVELS,
+            hosts_per_leaf=CAMPAIGN_HOSTS_PER_LEAF,
+            **base_kwargs,
+        )
+    interval = base.workload_config().frame_interval_cycles
+    # The disaster lands at the end of warmup: detection, failover and
+    # every recovery interval sit inside the measurement window.
+    onset = base.warmup_cycles
+    timeout = max(512, interval // 2)
+    recovery = RecoveryConfig(
+        timeout=timeout,
+        max_retries=8,
+        backoff_base=max(16, interval // 256),
+        backoff_cap=max(64, interval // 16),
+        qos_deadline=2 * interval,
+    )
+    return dataclasses.replace(
+        base,
+        faults=_severity_plan(kind, severity, onset),
+        recovery=recovery,
+        health=HealthConfig(),
+        routing_mode=mode,
+        # a crashed switch stalls progress until detection converges;
+        # give the watchdog four intervals unless the profile overrides
+        watchdog_window=profile.watchdog_window or 4 * interval,
+    )
+
+
+def _campaign_point(experiment) -> Point:
+    """Worker body: run one point, reduced to its figure Point.
+
+    Module-level (picklable) so the parallel executor can farm points
+    out; ``x`` is the severity's rung on the escalation ladder.
+    """
+    if isinstance(experiment, FatTree3Experiment):
+        result = simulate_fat_tree3(experiment)
+    else:
+        result = simulate_butterfly(experiment)
+    severity = _experiment_severity(experiment)
+    extra = dict(result.fault_stats or {})
+    extra["severity"] = severity
+    return Point(
+        DEFAULT_SEVERITIES.index(severity), result.metrics, extra=extra
+    )
+
+
+def _experiment_severity(experiment) -> str:
+    """Recover the severity rung from a point's fault plan."""
+    plan = experiment.faults
+    if plan is None or plan.is_zero:
+        return "none"
+    domain = plan.domains[0].domain
+    if domain.startswith("links:"):
+        return "link"
+    if domain.startswith("switch:"):
+        return "switch"
+    return "pod"
+
+
+def _point_key(kind: str, mode: str, severity: str, experiment) -> str:
+    """Fingerprinted checkpoint/result key for one point."""
+    return f"{kind}/{mode}@{severity}|{sweep_fingerprint(experiment)}"
+
+
+def run_disaster_campaign(
+    profile="default",
+    severities: Optional[Sequence[str]] = None,
+    checkpoint: Optional[SweepCheckpoint] = None,
+    log=None,
+    executor: Optional[ParallelSweepExecutor] = None,
+) -> FigureData:
+    """Sweep failure severity for adaptive vs static on tree fabrics.
+
+    Semantics mirror :func:`~repro.experiments.failover
+    .run_failover_campaign`: completed points persist to the checkpoint
+    and are skipped on rerun, a point that fails every resilient retry
+    records a ``failed`` extra instead of aborting, and an executor
+    with ``jobs > 1`` runs points in a process pool bit-identically to
+    the serial path.  Severities a topology does not define (``pod`` on
+    the butterfly) are skipped for that topology.
+    """
+    profile = get_profile(profile)
+    severities = (
+        DEFAULT_SEVERITIES if severities is None else tuple(severities)
+    )
+    for severity in severities:
+        if severity not in DEFAULT_SEVERITIES:
+            raise ConfigurationError(
+                f"unknown severity {severity!r} (choose from "
+                f"{', '.join(DEFAULT_SEVERITIES)})"
+            )
+    if executor is None:
+        executor = ParallelSweepExecutor(jobs=1, log=log)
+    points = [
+        (kind, mode, severity)
+        for kind in CAMPAIGN_TOPOLOGIES
+        for mode in CAMPAIGN_MODES
+        for severity in severities
+        if severity in CAMPAIGN_TOPOLOGIES[kind]
+    ]
+    experiments = {
+        point: _campaign_experiment(profile, *point) for point in points
+    }
+    keys = {
+        point: _point_key(*point, experiments[point]) for point in points
+    }
+    tasks = [
+        SweepTask(
+            key=keys[point],
+            runner=_campaign_point,
+            experiment=experiments[point],
+        )
+        for point in points
+    ]
+    if checkpoint is not None and log is not None:
+        for task in tasks:
+            if task.key in checkpoint:
+                log(f"[disaster] {task.key}: restored from checkpoint")
+
+    failed: Dict[str, Point] = {}
+
+    def on_failure(task: SweepTask, exc: SimulationError) -> None:
+        severity = _experiment_severity(task.experiment)
+        point = Point(
+            DEFAULT_SEVERITIES.index(severity),
+            _empty_metrics(),
+            extra={
+                "failed": f"{type(exc).__name__}: {exc}",
+                "severity": severity,
+            },
+        )
+        failed[task.key] = point
+        if checkpoint is not None:
+            checkpoint.put(task.key, _point_to_dict(point))
+        if log is not None:
+            log(f"[disaster] {task.key}: FAILED ({type(exc).__name__})")
+
+    results = executor.run(
+        tasks,
+        checkpoint=checkpoint,
+        encode=_point_to_dict,
+        decode=_point_from_dict,
+        on_failure=on_failure,
+    )
+    series: Dict[str, List[Point]] = {
+        f"{kind}/{mode}": [
+            results.get(keys[(kind, mode, severity)])
+            or failed[keys[(kind, mode, severity)]]
+            for severity in severities
+            if severity in CAMPAIGN_TOPOLOGIES[kind]
+        ]
+        for kind in CAMPAIGN_TOPOLOGIES
+        for mode in CAMPAIGN_MODES
+    }
+    return FigureData(
+        figure_id="disaster",
+        title=(
+            "Datacenter failover under switch/domain failures "
+            f"(fat_tree3 k={CAMPAIGN_K} + butterfly, 80:20 mix, "
+            f"load {CAMPAIGN_LOAD})"
+        ),
+        xlabel="failure severity (none < link < switch < pod)",
+        series=series,
+        notes="disaster at end of warmup; health monitoring on in both "
+        "modes, switch-level failover (overlay masks + session "
+        "shedding) only in adaptive",
+    )
+
+
+def disaster_campaign_to_text(fig: FigureData) -> str:
+    """Render the campaign as an aligned terminal table."""
+    header = (
+        f"{'series':<19} {'severity':>8} {'reach frac':>10} "
+        f"{'qos frac':>9} {'isolated':>8} {'downtime':>9} "
+        f"{'sw downs':>8} {'ttr':>8} {'shed':>5} {'abandoned':>9}"
+    )
+    lines = [fig.title, header, "-" * len(header)]
+    for name, points in fig.series.items():
+        for point in points:
+            extra = point.extra
+            severity = extra.get("severity", str(point.x))
+            if "failed" in extra:
+                lines.append(
+                    f"{name:<19} {severity:>8} "
+                    f"{'FAILED: ' + str(extra['failed'])}"
+                )
+                continue
+            health = extra.get("health") or {}
+            lines.append(
+                f"{name:<19} {severity:>8} "
+                f"{extra.get('qos_reachable_fraction', 1.0):>10.4f} "
+                f"{extra.get('qos_delivered_fraction', 1.0):>9.4f} "
+                f"{health.get('hosts_isolated', 0):>8} "
+                f"{health.get('host_downtime_cycles', 0):>9} "
+                f"{health.get('switch_downs', 0):>8} "
+                f"{health.get('mean_switch_time_to_recover_cycles', 0.0):>8.0f} "
+                f"{health.get('streams_shed', 0):>5} "
+                f"{extra.get('qos_abandoned', 0):>9}"
+            )
+    if fig.notes:
+        lines.append(f"({fig.notes})")
+    return "\n".join(lines)

@@ -237,6 +237,7 @@ def _fault_stats(network: Network) -> Optional[Dict[str, object]]:
         stats.update(asdict(transport))
         stats["delivered_fraction"] = transport.delivered_fraction
         stats["qos_delivered_fraction"] = transport.qos_delivered_fraction
+        stats["qos_reachable_fraction"] = transport.qos_reachable_fraction
     if network.health_monitor is not None:
         stats["health"] = network.health_monitor.summary()
     return stats
@@ -314,6 +315,8 @@ def _simulate_wormhole(experiment, topology) -> ExperimentResult:
         if monitor.config.shed_best_effort:
             monitor.bind_besteffort(workload.besteffort)
         monitor.bind_admission(_mirror_admission(network, workload))
+        # Isolated-host shedding pauses the victims' media sessions.
+        monitor.bind_streams(workload.streams)
     # Observability extras install last so every emitter (including the
     # transport and health monitor above) is wired before the first event.
     spec = getattr(experiment, "trace", None)

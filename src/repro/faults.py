@@ -46,7 +46,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fnmatch import fnmatchcase
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.errors import FaultConfigError
 from repro.sim.rng import RngStreams
@@ -105,6 +105,185 @@ class LinkDownWindow:
 
 
 @dataclass(frozen=True)
+class DomainDownWindow:
+    """A correlated failure domain dead for a ``[start, end)`` window.
+
+    ``domain`` names a set of hardware that fails (and recovers)
+    together, in datacenter-incident vocabulary rather than link
+    labels:
+
+    * ``switch:<rid>`` — one router and every link touching it (a ToR
+      or spine crash);
+    * ``pod:<p>`` — every leaf and spine switch of pod ``p`` on a
+      three-level fat tree (a pod loses power);
+    * ``core-group`` — every top-level switch; ``core-group:<j>``
+      narrows to the ``j``-th core group of a three-level fat tree
+      (the cores hanging off spine slot ``j``);
+    * ``links:<pat>[;<pat>...]`` — an arbitrary set of link-label
+      patterns failing as one unit.
+
+    Domains are sugar: :func:`expand_domain` lowers each one
+    deterministically into plain :class:`LinkDownWindow` entries
+    against the concrete topology, so the per-link machinery — and its
+    RNG-substream discipline that keeps zero-fault runs bit-identical —
+    remains the only fault path the simulator executes.  ``end=None``
+    is a permanent failure.
+    """
+
+    domain: str
+    start: int = 0
+    end: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.domain:
+            raise FaultConfigError("a domain window needs a domain name")
+        if self.start < 0:
+            raise FaultConfigError(
+                f"domain window start must be >= 0, got {self.start}"
+            )
+        if self.end is not None and self.end <= self.start:
+            raise FaultConfigError(
+                f"domain window end must be > start, got "
+                f"[{self.start}, {self.end})"
+            )
+
+    def active(self, clock: int) -> bool:
+        """True while the window covers ``clock``."""
+        return clock >= self.start and (self.end is None or clock < self.end)
+
+    def to_dict(self) -> dict:
+        """JSON-plain form (chaos scenarios, repro files)."""
+        return {"domain": self.domain, "start": self.start, "end": self.end}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DomainDownWindow":
+        """Rebuild a window from :meth:`to_dict` output (validated)."""
+        return cls(
+            domain=data["domain"],
+            start=int(data.get("start", 0)),
+            end=None if data.get("end") is None else int(data["end"]),
+        )
+
+
+def domain_switches(domain: str, topology) -> FrozenSet[int]:
+    """Router ids ``domain`` resolves to on ``topology``.
+
+    ``links:`` domains touch no switch and resolve to an empty set;
+    every other domain kind must name at least one router or the plan
+    is rejected with a :class:`FaultConfigError`.
+    """
+    extras = topology.extras
+    kind, _, arg = domain.partition(":")
+    if kind == "links":
+        if not [p for p in arg.split(";") if p]:
+            raise FaultConfigError(
+                f"domain {domain!r} carries no link patterns"
+            )
+        return frozenset()
+    if kind == "switch":
+        rid = _domain_index(domain, arg)
+        if not 0 <= rid < topology.num_routers:
+            raise FaultConfigError(
+                f"domain {domain!r} names unknown router {rid}"
+            )
+        return frozenset((rid,))
+    if kind == "pod":
+        if extras.get("generator") != "fat_tree3":
+            raise FaultConfigError(
+                f"domain {domain!r} needs a three-level fat tree "
+                f"(topology is {topology.name!r})"
+            )
+        k = extras["k"]
+        half = k // 2
+        pod = _domain_index(domain, arg)
+        if not 0 <= pod < k:
+            raise FaultConfigError(
+                f"domain {domain!r} names unknown pod {pod} (k={k})"
+            )
+        num_leaves = k * half
+        return frozenset(range(pod * half, (pod + 1) * half)) | frozenset(
+            range(num_leaves + pod * half, num_leaves + (pod + 1) * half)
+        )
+    if kind == "core-group":
+        overlay = getattr(topology.routing, "overlay", None)
+        if overlay is None:
+            raise FaultConfigError(
+                f"domain {domain!r} needs an up*/down* fabric "
+                f"(topology is {topology.name!r})"
+            )
+        if not arg:
+            levels = overlay.levels
+            top = max(levels)
+            return frozenset(
+                rid for rid, lv in enumerate(levels) if lv == top
+            )
+        if extras.get("generator") != "fat_tree3":
+            raise FaultConfigError(
+                f"domain {domain!r}: indexed core groups exist only on "
+                f"three-level fat trees (topology is {topology.name!r})"
+            )
+        k = extras["k"]
+        half = k // 2
+        group = _domain_index(domain, arg)
+        if not 0 <= group < half:
+            raise FaultConfigError(
+                f"domain {domain!r} names unknown core group {group} "
+                f"(k={k} has {half} groups)"
+            )
+        base = 2 * k * half + group * half
+        return frozenset(range(base, base + half))
+    raise FaultConfigError(
+        f"unknown failure domain {domain!r} (expected 'switch:<rid>', "
+        f"'pod:<p>', 'core-group[:<j>]', or 'links:<pat>[;<pat>...]')"
+    )
+
+
+def _domain_index(domain: str, arg: str) -> int:
+    """Parse the integer argument of a domain name."""
+    try:
+        return int(arg)
+    except ValueError:
+        raise FaultConfigError(
+            f"domain {domain!r} needs an integer argument"
+        ) from None
+
+
+def expand_domain(window: DomainDownWindow, topology) -> Tuple[
+    LinkDownWindow, ...
+]:
+    """Lower one domain window into concrete per-link down windows.
+
+    Switch-shaped domains sever every channel touching a member router
+    *and* the attachment links of its hosts (a crashed ToR takes its
+    NIs down with it); ``links:`` domains pass their patterns through.
+    Expansion is deterministic — sorted by link label — so sweep
+    fingerprints and repro files are stable across runs and platforms.
+    """
+    kind, _, arg = window.domain.partition(":")
+    if kind == "links":
+        labels = sorted({p for p in arg.split(";") if p})
+        if not labels:
+            raise FaultConfigError(
+                f"domain {window.domain!r} carries no link patterns"
+            )
+    else:
+        switches = domain_switches(window.domain, topology)
+        collected = set()
+        for src_r, src_p, dst_r, dst_p in topology.channels:
+            if src_r in switches or dst_r in switches:
+                collected.add(f"ch:{src_r}.{src_p}->{dst_r}.{dst_p}")
+        for node, rid, _ in topology.hosts:
+            if rid in switches:
+                collected.add(f"host{node}:inject")
+                collected.add(f"host{node}:eject")
+        labels = sorted(collected)
+    return tuple(
+        LinkDownWindow(link=label, start=window.start, end=window.end)
+        for label in labels
+    )
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Declarative description of the faults to inject into a network.
 
@@ -114,6 +293,9 @@ class FaultPlan:
     * ``port_failures`` — ``(router_id, output_port)`` pairs whose
       outgoing link is dead for the whole run; the router's fat-link
       selector skips them.
+    * ``domains`` — correlated failure domains (switch crashes, pod
+      power loss, core-plane outages) expanded into per-link windows at
+      install time; see :class:`DomainDownWindow`.
 
     A default-constructed plan injects nothing and is guaranteed to
     leave the simulation bit-identical to a run with no plan at all
@@ -126,6 +308,7 @@ class FaultPlan:
     links: str = "*"
     down_windows: Tuple[LinkDownWindow, ...] = ()
     port_failures: Tuple[Tuple[int, int], ...] = ()
+    domains: Tuple[DomainDownWindow, ...] = ()
 
     def __post_init__(self) -> None:
         for name in ("flit_loss_prob", "flit_corrupt_prob"):
@@ -150,6 +333,7 @@ class FaultPlan:
             and self.flit_corrupt_prob == 0.0
             and not self.down_windows
             and not self.port_failures
+            and not self.domains
         )
 
     def to_dict(self) -> dict:
@@ -160,6 +344,7 @@ class FaultPlan:
             "links": self.links,
             "down_windows": [w.to_dict() for w in self.down_windows],
             "port_failures": [list(pair) for pair in self.port_failures],
+            "domains": [d.to_dict() for d in self.domains],
         }
 
     @classmethod
@@ -180,6 +365,10 @@ class FaultPlan:
             ),
             port_failures=tuple(
                 (int(r), int(p)) for r, p in data.get("port_failures", ())
+            ),
+            domains=tuple(
+                DomainDownWindow.from_dict(d)
+                for d in data.get("domains", ())
             ),
         )
 
@@ -288,6 +477,13 @@ class FaultInjector:
         self.states: Dict[str, LinkFaultState] = {}
         #: (router_id, port) pairs marked permanently dead
         self.failed_ports: Tuple[Tuple[int, int], ...] = ()
+        #: router ids crashed by a *permanent* domain window
+        self.dead_switches: FrozenSet[int] = frozenset()
+        #: per-link windows the plan's domains expanded into
+        self.domain_windows: Tuple[LinkDownWindow, ...] = ()
+        #: hosts the plan knowingly cuts off (attached to dead
+        #: switches); their sessions are shed, not routed around
+        self.sacrificed_hosts: FrozenSet[int] = frozenset()
 
     def links_down(self, clock: int) -> List[str]:
         """Labels of links inside an active down window at ``clock``."""
@@ -319,15 +515,35 @@ def install_faults(
     group dies; in ``static`` mode routing ignores faults entirely and
     end-to-end recovery owns every loss.
 
+    Correlated failure domains (``plan.domains``) are lowered first:
+    each :class:`DomainDownWindow` expands deterministically into
+    per-link windows against the concrete topology, and permanently
+    crashed routers are recorded on ``injector.dead_switches`` so the
+    isolation check (and diagnostics) can tell a deliberate sacrifice
+    from a configuration mistake.
+
     Raises :class:`FaultConfigError` for windows that match no link,
-    port failures that name unknown hardware, or a plan whose
-    *permanent* failures isolate a host no routing mode could ever
-    reach again (a dead host attachment link, or a router left with no
-    surviving route and no detour — e.g. any permanent failure on
-    ``single_switch`` host ports or a thin non-redundant mesh).
-    Returns the installed :class:`FaultInjector`.
+    port failures that name unknown hardware, unknown failure domains,
+    or a plan whose *permanent* failures isolate a host no routing mode
+    could ever reach again (a dead host attachment link, or a router
+    left with no surviving route and no detour — e.g. any permanent
+    failure on ``single_switch`` host ports or a thin non-redundant
+    mesh).  On up*/down* fabrics the check runs the alternate-ancestor
+    overlay: a plan survives if masking repairs it, and hosts attached
+    to domain-declared dead switches are an accepted sacrifice rather
+    than an error.  Returns the installed :class:`FaultInjector`.
     """
     injector = FaultInjector(network, plan)
+
+    expanded: List[LinkDownWindow] = []
+    dead_switches: set = set()
+    for dwin in plan.domains:
+        expanded.extend(expand_domain(dwin, network.topology))
+        if dwin.end is None:
+            dead_switches |= domain_switches(dwin.domain, network.topology)
+    injector.dead_switches = frozenset(dead_switches)
+    injector.domain_windows = tuple(expanded)
+    down_windows = tuple(plan.down_windows) + injector.domain_windows
 
     permanent: Dict[str, List[LinkDownWindow]] = {}
     failed: List[Tuple[int, int]] = []
@@ -355,7 +571,7 @@ def install_faults(
     injector.failed_ports = tuple(failed)
 
     labels = {link.label: link for link in network.links}
-    for window in plan.down_windows:
+    for window in down_windows:
         if not any(fnmatchcase(label, window.link) for label in labels):
             raise FaultConfigError(
                 f"down window pattern {window.link!r} matches no link "
@@ -365,7 +581,7 @@ def install_faults(
     probabilistic = plan.flit_loss_prob > 0.0 or plan.flit_corrupt_prob > 0.0
     for label, link in labels.items():
         windows = [
-            w for w in plan.down_windows if fnmatchcase(label, w.link)
+            w for w in down_windows if fnmatchcase(label, w.link)
         ]
         windows.extend(permanent.get(label, ()))
         hit = probabilistic and fnmatchcase(label, plan.links)
@@ -396,6 +612,15 @@ def _check_host_isolation(network, injector: FaultInjector) -> None:
     the topology's detour options — would hang traffic until the
     watchdog fires.  Failing fast with a :class:`FaultConfigError`
     turns that silent hang into a configuration-time diagnosis.
+
+    On up*/down* fabrics (fat trees, butterflies) the check runs the
+    topology's alternate-ancestor overlay instead of a route walk: a
+    plan is acceptable when, after the overlay's repair masks, the only
+    unreachable hosts are the ones attached to switches the plan
+    *declared* dead via failure domains — a deliberate sacrifice the
+    runtime sheds gracefully.  Any host isolated beyond that set (e.g.
+    by bare link windows that happen to sever a subtree) is still a
+    configuration error.
     """
     dead_labels = {
         label
@@ -409,6 +634,36 @@ def _check_host_isolation(network, injector: FaultInjector) -> None:
         for link in network.links
         if link.label in dead_labels and link.src_router is not None
     }
+    overlay = getattr(network.routing, "overlay", None)
+    if overlay is not None:
+        dead_switches = injector.dead_switches
+        _, sacrificed = overlay.analyze(dead_switches=dead_switches)
+        injector.sacrificed_hosts = sacrificed
+        dead_edges = overlay.dead_edges_from_ports(dead_ports)
+        _, isolated = overlay.analyze(
+            dead_switches=dead_switches, dead_edges=dead_edges
+        )
+        stranded = set(isolated) - set(sacrificed)
+        for node, _, _ in network.topology.hosts:
+            for half in ("inject", "eject"):
+                if f"host{node}:{half}" in dead_labels:
+                    if node in sacrificed:
+                        continue
+                    raise FaultConfigError(
+                        f"fault plan permanently fails host{node}:{half}; "
+                        f"host {node} has a single attachment link, no "
+                        f"reroute is possible"
+                    )
+        if stranded:
+            victims = ", ".join(str(n) for n in sorted(stranded))
+            raise FaultConfigError(
+                f"fault plan isolates host(s) {victims}: even the "
+                f"alternate-ancestor failover overlay cannot route "
+                f"around these permanent failures (declare the dead "
+                f"switches as failure domains to sacrifice their hosts "
+                f"deliberately)"
+            )
+        return
     for node, _, _ in network.topology.hosts:
         for half in ("inject", "eject"):
             label = f"host{node}:{half}"
@@ -556,12 +811,34 @@ class TransportStats:
     be_abandoned: int = 0
     #: QoS deliveries that blew ``RecoveryConfig.qos_deadline``
     qos_deadline_misses: int = 0
+    #: the subset of ``qos_abandoned`` whose source or destination was
+    #: a known-isolated host at abandonment time (shed sessions, not
+    #: fabric failures)
+    qos_abandoned_isolated: int = 0
 
     @property
     def qos_delivered_fraction(self) -> float:
         """Cleanly delivered fraction of resolved QoS (CBR/VBR) messages."""
         resolved = self.qos_delivered + self.qos_abandoned
         if resolved == 0:
+            return 1.0
+        return self.qos_delivered / resolved
+
+    @property
+    def qos_reachable_fraction(self) -> float:
+        """QoS delivered fraction over hosts the fabric can still reach.
+
+        Excludes abandons charged to isolated hosts: when a ToR dies,
+        its hosts are gone no matter how good failover is, so the
+        disaster campaign judges the failover layer on the traffic it
+        could conceivably have saved.
+        """
+        resolved = (
+            self.qos_delivered
+            + self.qos_abandoned
+            - self.qos_abandoned_isolated
+        )
+        if resolved <= 0:
             return 1.0
         return self.qos_delivered / resolved
 
@@ -696,6 +973,11 @@ class EndToEndTransport:
             self.stats.abandoned += 1
             if msg.is_real_time:
                 self.stats.qos_abandoned += 1
+                isolated = getattr(network, "isolated_hosts", None)
+                if isolated and (
+                    msg.src_node in isolated or msg.dst_node in isolated
+                ):
+                    self.stats.qos_abandoned_isolated += 1
             else:
                 self.stats.be_abandoned += 1
             if self.trace is not None:

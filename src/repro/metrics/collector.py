@@ -63,6 +63,14 @@ class MetricsCollector:
                 worms_requeued=summary["worms_requeued"],
                 streams_shed=summary["streams_shed"],
                 be_messages_shed=summary["be_messages_shed"],
+                switch_downs=summary["switch_downs"],
+                switch_recoveries=summary["switch_recoveries"],
+                mean_switch_time_to_recover_cycles=summary[
+                    "mean_switch_time_to_recover_cycles"
+                ],
+                hosts_isolated=summary["hosts_isolated"],
+                host_downtime_cycles=summary["host_downtime_cycles"],
+                availability=list(summary["availability"]),
             )
         return RunMetrics(
             mean_delivery_interval_ms=tb.report_ms(self.delivery.mean_interval),
@@ -115,6 +123,19 @@ class RunMetrics:
     worms_requeued: int = 0
     streams_shed: int = 0
     be_messages_shed: int = 0
+    # Switch-level failover counters (same back-compat rule: defaulted
+    # so checkpoints from before the datacenter disaster layer decode).
+    switch_downs: int = 0
+    switch_recoveries: int = 0
+    mean_switch_time_to_recover_cycles: float = 0.0
+    #: hosts the failover layer ever declared unreachable
+    hosts_isolated: int = 0
+    #: summed cycles hosts spent isolated (open intervals run to the
+    #: end of the run)
+    host_downtime_cycles: int = 0
+    #: per-host reachability timeline: ``{"cycle", "host", "event"}``
+    #: dicts with event "isolated" or "restored", in detection order
+    availability: list = field(default_factory=list)
     #: per-phase simulation-loop wall seconds (LoopProfiler.summary());
     #: empty unless the run was profiled — wall time is not part of the
     #: deterministic metric surface, so bench parity checks stay exact

@@ -89,6 +89,9 @@ class Network:
         self.transport = None
         #: LinkHealthMonitor installed by repro.network.health
         self.health_monitor = None
+        #: host nodes the failover layer has declared unreachable
+        #: (sessions shed; transport charges their abandons separately)
+        self.isolated_hosts: "set[int]" = set()
         #: trace sink installed by repro.obs.install_tracing (purge events)
         self.trace = None
         #: LoopProfiler installed by the runner (per-phase wall time)
@@ -694,8 +697,14 @@ class Network:
             suspected = self.health_monitor.suspected()
             if suspected:
                 lines.append(
-                    "suspected unhealthy links: " + ", ".join(suspected)
+                    "suspected unhealthy links/switches: "
+                    + ", ".join(suspected)
                 )
+        if self.isolated_hosts:
+            lines.append(
+                "isolated hosts: "
+                + ", ".join(str(n) for n in sorted(self.isolated_hosts))
+            )
         if len(lines) > max_lines:
             extra = len(lines) - max_lines
             lines = lines[:max_lines] + [f"... {extra} more lines elided"]

@@ -36,6 +36,7 @@ from repro.router.routing import (
     RoutingFunction,
     SingleSwitchRouting,
     TableRouting,
+    UpDownFailover,
 )
 
 
@@ -375,8 +376,13 @@ def _updown_tables(
     folded-Clos-style fabric, down candidates are a single fat group —
     there is provably no down-path diversity to build detour tables
     from, which is why tree topologies compile with an empty detour
-    table and rely on up-group shrink + end-to-end recovery instead
-    (see docs/simulator-internals.md).
+    table.  Down-path *repair* exists anyway, but it is global rather
+    than local: ascend through a different ancestor.  The generators
+    attach an :class:`~repro.router.routeprog.UpDownFailover` overlay
+    (compiled lazily from the same levels/adjacency data) that turns a
+    dead-switch set into the up-port masks realising exactly that
+    repair — see docs/simulator-internals.md, "Switch failures and
+    datacenter failover".
     """
     children: Dict[int, List[int]] = {r: [] for r in range(num_routers)}
     parents: Dict[int, List[int]] = {r: [] for r in range(num_routers)}
@@ -542,13 +548,14 @@ def fat_tree3(
         num_routers, levels, adjacency, host_router, host_port
     )
     name = f"fat-tree3-k{k}h{hpl}w{fat_width}"
+    overlay = UpDownFailover(levels, adjacency, host_router)
     return Topology(
         name=name,
         num_routers=num_routers,
         ports_per_router=ports_per_router,
         hosts=hosts,
         channels=_wire_levelled(levels, adjacency),
-        routing=TableRouting(table, name=name),
+        routing=TableRouting(table, name=name, overlay=overlay),
         extras={
             "generator": "fat_tree3",
             "k": k,
@@ -635,13 +642,14 @@ def butterfly(
         num_routers, level_of, adjacency, host_router, host_port
     )
     name = f"butterfly-a{arity}n{levels}h{hpl}w{fat_width}"
+    overlay = UpDownFailover(level_of, adjacency, host_router)
     return Topology(
         name=name,
         num_routers=num_routers,
         ports_per_router=ports_per_router,
         hosts=hosts,
         channels=_wire_levelled(level_of, adjacency),
-        routing=TableRouting(table, name=name),
+        routing=TableRouting(table, name=name, overlay=overlay),
         extras={
             "generator": "butterfly",
             "arity": arity,

@@ -33,7 +33,7 @@ cached topology) may compile again.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import RoutingError
 
@@ -69,6 +69,7 @@ class RouteProgram:
         "primary",
         "alt",
         "detours",
+        "overlay",
     )
 
     def __init__(
@@ -82,6 +83,7 @@ class RouteProgram:
         primary: Tuple[Tuple[int, ...], ...],
         alt: Optional[Tuple[Optional[Tuple[int, ...]], ...]],
         detours: Dict[Tuple[int, int], Tuple[Tuple[int, str], ...]],
+        overlay: Optional["UpDownFailover"] = None,
     ) -> None:
         self.name = name
         self.num_routers = num_routers
@@ -92,6 +94,9 @@ class RouteProgram:
         self.primary = primary
         self.alt = alt
         self.detours = detours
+        #: alternate-ancestor failover overlay for up*/down* fabrics
+        #: (None on topologies that repair via alt tables/detours instead)
+        self.overlay = overlay
 
     # -- queries (stateless; the mask lives in RouterRouteView) --------
 
@@ -167,7 +172,256 @@ class RouteProgram:
             "unique_groups": len(self.groups),
             "max_group_size": max(group_sizes, default=0),
             "table_ints": self.num_routers * len(self.nodes),
+            "failover_overlay": self.overlay is not None,
         }
+
+
+class UpDownFailover:
+    """Precomputed alternate-ancestor repair for up*/down* fabrics.
+
+    A levelled (fat-tree / folded-Clos) route program has no detour
+    table by theorem: below the lowest common ancestor the down path is
+    unique, so there is nothing *local* to fall back on when a switch
+    on that path dies.  The repair that does exist is global: ascend
+    through a *different* ancestor whose down-subtree still reaches the
+    destination.  Because worms ascend adaptively (any parent group,
+    picked by load), the repair is expressible purely as extra
+    ``(router, port)`` masks — prune every up-edge whose ancestor
+    subtree lost destinations that a sibling ancestor still reaches,
+    and load-based shrink does the rest.
+
+    :meth:`analyze` computes, for a set of dead switches (and/or dead
+    directed edges), exactly that mask set plus the hosts no amount of
+    re-steering can save (their attachment switch died, or every
+    ancestor lost them).  The computation is *demonically safe*: after
+    applying the masks, **every** unmasked candidate port at every
+    live router leads to a router that still reaches every live
+    destination the worm could be carrying — the router's load-based
+    pick can never wander into a dead end.  Results are memoised per
+    fault set; the zero-fault path never touches any of this, and the
+    heavy per-topology bit tables are built lazily on the first
+    analysis, so building a 1024-host tree stays as cheap as before.
+
+    The structure is immutable shared data like the rest of the
+    program: runs *read* mask sets from it and apply them to their own
+    forked :class:`RouterRouteView` overlays, so forks stay isolated.
+    """
+
+    __slots__ = (
+        "num_routers",
+        "levels",
+        "adjacency",
+        "host_router",
+        "_ready",
+        "parents",
+        "children",
+        "_nodes",
+        "_node_bit",
+        "_hosts_at",
+        "_below",
+        "_all_hosts",
+        "_down_order",
+        "_cache",
+    )
+
+    def __init__(
+        self,
+        levels: Sequence[int],
+        adjacency: Mapping[Tuple[int, int], Tuple[int, ...]],
+        host_router: Mapping[int, int],
+    ) -> None:
+        self.num_routers = len(levels)
+        self.levels = tuple(levels)
+        self.adjacency = {
+            key: tuple(ports) for key, ports in adjacency.items()
+        }
+        self.host_router = dict(host_router)
+        self._ready = False
+        self._cache: Dict[
+            Tuple[FrozenSet[int], FrozenSet[Tuple[int, int]]],
+            Tuple[Tuple[Tuple[int, int], ...], FrozenSet[int]],
+        ] = {}
+
+    # -- lazy per-topology tables --------------------------------------
+
+    def _ensure(self) -> None:
+        if self._ready:
+            return
+        num = self.num_routers
+        levels = self.levels
+        children: List[List[int]] = [[] for _ in range(num)]
+        parents: List[List[int]] = [[] for _ in range(num)]
+        for rid, nbr in sorted(self.adjacency):
+            if levels[nbr] == levels[rid] - 1:
+                children[rid].append(nbr)
+            elif levels[nbr] == levels[rid] + 1:
+                parents[rid].append(nbr)
+        self.children = tuple(tuple(c) for c in children)
+        self.parents = tuple(tuple(p) for p in parents)
+        nodes = tuple(sorted(self.host_router))
+        self._nodes = nodes
+        self._node_bit = {node: 1 << i for i, node in enumerate(nodes)}
+        self._all_hosts = (1 << len(nodes)) - 1
+        hosts_at = [0] * num
+        for node, rid in self.host_router.items():
+            hosts_at[rid] |= self._node_bit[node]
+        self._hosts_at = tuple(hosts_at)
+        up_order = sorted(range(num), key=lambda r: (levels[r], r))
+        below = [0] * num
+        for rid in up_order:
+            mask = hosts_at[rid]
+            joint = 0
+            for child in self.children[rid]:
+                if joint & below[child]:
+                    raise RoutingError(
+                        "failover overlay needs disjoint child subtrees "
+                        f"(router {rid} reaches some host via two children)"
+                    )
+                joint |= below[child]
+                mask |= below[child]
+            below[rid] = mask
+        self._below = tuple(below)
+        self._down_order = tuple(reversed(up_order))
+        self._ready = True
+
+    # -- fault analysis -------------------------------------------------
+
+    def analyze(
+        self,
+        dead_switches: FrozenSet[int] = frozenset(),
+        dead_edges: FrozenSet[Tuple[int, int]] = frozenset(),
+    ) -> Tuple[Tuple[Tuple[int, int], ...], FrozenSet[int]]:
+        """Masks and casualties for a fault set.
+
+        ``dead_switches`` are router ids presumed crashed; every edge
+        touching one is dead.  ``dead_edges`` adds individually severed
+        directed adjacencies ``(router, neighbour)`` (a fat edge dies
+        only when *all* its parallel ports are gone — the caller maps
+        link faults to edges).  Returns ``(masks, isolated)``: the
+        sorted ``(router, port)`` pairs adaptive routing must mask so
+        no surviving candidate dead-ends, and the host nodes no
+        masking can save (shed them instead of letting the watchdog
+        fire).
+        """
+        dead_switches = frozenset(dead_switches)
+        dead_edges = frozenset(dead_edges)
+        key = (dead_switches, dead_edges)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        self._ensure()
+        adjacency = self.adjacency
+        hosts_at = self._hosts_at
+        below = self._below
+        all_hosts = self._all_hosts
+
+        def edge_alive(rid: int, nbr: int) -> bool:
+            return (
+                rid not in dead_switches
+                and nbr not in dead_switches
+                and (rid, nbr) not in dead_edges
+            )
+
+        masks: Set[Tuple[int, int]] = set()
+        # Ports aimed straight at a dead switch or over a severed edge
+        # are masked outright (the symptom-driven link layer converges
+        # on the same set; listing them here keeps analyze() complete).
+        for (rid, nbr), ports in adjacency.items():
+            if rid not in dead_switches and not edge_alive(rid, nbr):
+                masks.update((rid, port) for port in ports)
+
+        # Demonic down-reachability: hosts a router delivers downward
+        # no matter which surviving candidate the load picker chooses.
+        # Child subtrees are disjoint (checked in _ensure), so the OR
+        # over live children is exact.
+        ok_down = [0] * self.num_routers
+        for rid in self._down_order[::-1]:  # ascending level order
+            if rid in dead_switches:
+                continue
+            mask = hosts_at[rid]
+            for child in self.children[rid]:
+                if edge_alive(rid, child):
+                    mask |= ok_down[child]
+            ok_down[rid] = mask
+
+        # Top-down: prune up-edges into ancestors that lost destinations
+        # a sibling ancestor still reaches, then summarise what each
+        # router can *certainly* deliver (safe = down set + what every
+        # surviving parent guarantees).
+        safe = [0] * self.num_routers
+        for rid in self._down_order:
+            if rid in dead_switches:
+                continue
+            alive_parents = [
+                p
+                for p in self.parents[rid]
+                if p not in dead_switches and edge_alive(rid, p)
+            ]
+            outside = all_hosts & ~below[rid]
+            union = 0
+            for p in alive_parents:
+                union |= safe[p]
+            up_safe = 0
+            keep_any = False
+            for p in alive_parents:
+                if (union & ~safe[p]) & outside:
+                    masks.update(
+                        (rid, port) for port in adjacency[(rid, p)]
+                    )
+                else:
+                    up_safe = safe[p] if not keep_any else up_safe & safe[p]
+                    keep_any = True
+            safe[rid] = ok_down[rid] | (up_safe & outside)
+
+        # Casualties: hosts on a dead switch, hosts whose own leaf lost
+        # every way out, then hosts some *surviving* leaf can no longer
+        # reach.  Order matters — a cut-off leaf can reach nobody, so
+        # letting it vote in the reachability pass would condemn the
+        # whole fabric instead of just its own hosts.
+        dead_hosts = 0
+        for rid in dead_switches:
+            if 0 <= rid < self.num_routers:
+                dead_hosts |= hosts_at[rid]
+        isolated = dead_hosts
+        live_leaves = [
+            rid
+            for rid in range(self.num_routers)
+            if hosts_at[rid] and rid not in dead_switches
+        ]
+        for leaf in live_leaves:
+            others = all_hosts & ~dead_hosts & ~hosts_at[leaf]
+            if others and not (safe[leaf] & others):
+                isolated |= hosts_at[leaf]
+        for leaf in live_leaves:
+            if hosts_at[leaf] & isolated:
+                continue
+            isolated |= all_hosts & ~safe[leaf]
+
+        node_bit = self._node_bit
+        isolated_nodes = frozenset(
+            node for node in self._nodes if isolated & node_bit[node]
+        )
+        result = (tuple(sorted(masks)), isolated_nodes)
+        if len(self._cache) >= 128:
+            self._cache.clear()
+        self._cache[key] = result
+        return result
+
+    def masks_for(
+        self, dead_switches: "FrozenSet[int] | Set[int]"
+    ) -> Tuple[Tuple[Tuple[int, int], ...], FrozenSet[int]]:
+        """:meth:`analyze` specialised to crashed switches (runtime path)."""
+        return self.analyze(dead_switches=frozenset(dead_switches))
+
+    def dead_edges_from_ports(
+        self, dead_ports: "Set[Tuple[int, int]]"
+    ) -> FrozenSet[Tuple[int, int]]:
+        """Directed adjacencies whose every parallel port is dead."""
+        return frozenset(
+            (rid, nbr)
+            for (rid, nbr), ports in self.adjacency.items()
+            if all((rid, port) in dead_ports for port in ports)
+        )
 
 
 def compile_routes(
@@ -179,6 +433,7 @@ def compile_routes(
     *,
     name: str = "table",
     num_routers: Optional[int] = None,
+    overlay: Optional[UpDownFailover] = None,
 ) -> RouteProgram:
     """Compile dict routing tables into one :class:`RouteProgram`.
 
@@ -262,6 +517,7 @@ def compile_routes(
         primary=tuple(tuple(row) for row in primary_rows),
         alt=None if alt_rows is None else tuple(alt_rows),
         detours=detour_map,
+        overlay=overlay,
     )
 
 

@@ -35,6 +35,7 @@ from repro.router.routeprog import (
     FLAVOR_YX,
     RouteProgram,
     RouterRouteView,
+    UpDownFailover,
     compile_routes,
 )
 
@@ -46,6 +47,7 @@ __all__ = [
     "RoutingFunction",
     "SingleSwitchRouting",
     "TableRouting",
+    "UpDownFailover",
 ]
 
 
@@ -169,6 +171,11 @@ class CompiledRouting(RoutingFunction):
     def fork(self) -> "CompiledRouting":
         return CompiledRouting(self.program)
 
+    @property
+    def overlay(self):
+        """The program's :class:`UpDownFailover`, or None (shared, immutable)."""
+        return self.program.overlay
+
     def router_view(self, router_id: int) -> RouterRouteView:
         view = self._views.get(router_id)
         if view is None:
@@ -230,9 +237,12 @@ class TableRouting(CompiledRouting):
             Mapping[Tuple[int, int], Tuple[Tuple[Tuple[int, ...], str], ...]]
         ] = None,
         name: str = "table",
+        overlay: Optional[UpDownFailover] = None,
     ) -> None:
         super().__init__(
-            compile_routes(table, alt_table, detours, name=name)
+            compile_routes(
+                table, alt_table, detours, name=name, overlay=overlay
+            )
         )
 
 

@@ -72,6 +72,10 @@ class MediaStream:
         self.rng = rng
         self.stream_id = next(_stream_ids)
         self.frames_emitted = 0
+        #: True while failover shed this session (endpoint isolated)
+        self.paused = False
+        #: frames skipped while paused (availability accounting)
+        self.frames_suppressed = 0
         self._network = None
 
     def start(self, network) -> None:
@@ -80,10 +84,30 @@ class MediaStream:
         first = network.clock + self.config.phase
         network.schedule_call(first, self._emit_frame)
 
+    def pause(self) -> None:
+        """Stop emitting frames (the frame clock keeps ticking).
+
+        Used by the failover layer when an endpoint becomes isolated:
+        the session is shed instead of pumping messages at a host that
+        can never acknowledge them.  The per-frame callback stays
+        scheduled — only the frame draw and its injections are
+        suppressed — so the stream's RNG is untouched while paused and
+        a later :meth:`resume` picks up on the original cadence.
+        """
+        self.paused = True
+
+    def resume(self) -> None:
+        """Start emitting frames again at the next frame tick."""
+        self.paused = False
+
     def _emit_frame(self) -> None:
         network = self._network
         cfg = self.config
         now = network.clock
+        if self.paused:
+            self.frames_suppressed += 1
+            network.schedule_call(now + cfg.frame_interval, self._emit_frame)
+            return
         frame_flits = cfg.frame_model.draw(self.rng)
         messages = messages_for_frame(
             frame_flits=frame_flits,

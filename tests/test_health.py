@@ -47,6 +47,9 @@ class _StubMonitor:
     def _on_probation(self, health):
         self.events.append(("probation",))
 
+    def _on_suspicion_changed(self, health, clock):
+        pass  # notification only; no failover action to record
+
 
 class _StubLink:
     label = "ch:0.4->1.4"
