@@ -32,9 +32,10 @@ bench:            ## quick-profile benchmarks (shape checks)
 bench-default:    ## the EXPERIMENTS.md setting (slow)
 	REPRO_BENCH_PROFILE=default $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-bench-smoke:      ## core-engine bench: active vs legacy loop, serial vs pool
+bench-smoke:      ## core-engine bench: object/array/legacy loops, serial vs pool
 	$(PYTHON) -m repro.experiments.bench_core --profile quick --jobs 2 \
-		--min-speedup 1.0 --out BENCH_core.json --history BENCH_history.jsonl
+		--min-speedup 1.0 --min-speedup-dense 1.5 \
+		--out BENCH_core.json --history BENCH_history.jsonl
 
 repro:            ## regenerate every figure/table at the default profile
 	$(PYTHON) -m repro.experiments.cli all --profile default

@@ -6,9 +6,9 @@ The campaign pipeline:
    of scenarios from a :class:`~repro.chaos.scenario.ScenarioSpace`;
 2. :func:`run_scenario` executes each one under the invariant checker,
    the progress watchdog, and a wall-clock budget, then applies the
-   differential oracles (fused-vs-legacy parity, health-monitoring
-   no-op, accounting conservation) — the verdict is a plain JSON dict,
-   never an exception;
+   differential oracles (fused-vs-legacy parity, array-vs-object
+   engine parity, health-monitoring no-op, accounting conservation) —
+   the verdict is a plain JSON dict, never an exception;
 3. failing scenarios are :func:`shrink`-ed by greedy delta debugging —
    a candidate simplification is kept only when it still fails under
    the *same* oracle — and written as replayable repro files;
@@ -93,6 +93,24 @@ def _execute_legacy(scenario: Scenario):
             os.environ["REPRO_LEGACY_LOOP"] = saved
 
 
+def _execute_array(scenario: Scenario):
+    """The same simulation under the array engine.
+
+    ``REPRO_LEGACY_LOOP`` is cleared around the run: the array engine
+    refuses to coexist with the legacy scan (`EngineError`), and a
+    replay of this scenario on the legacy loop must still be able to
+    run its engine-parity twin.
+    """
+    saved = os.environ.pop("REPRO_LEGACY_LOOP", None)
+    try:
+        return _RUNNERS[scenario.topology](
+            dataclasses.replace(scenario.to_experiment(), engine="array")
+        )
+    finally:
+        if saved is not None:
+            os.environ["REPRO_LEGACY_LOOP"] = saved
+
+
 def _verdict(
     scenario: Scenario,
     status: str,
@@ -163,7 +181,7 @@ def _differential(
 ) -> Tuple[Optional[str], Optional[str]]:
     """Twin-run oracles; ``(detail, oracle)`` or ``(None, None)``.
 
-    Both twins need a genuinely unperturbed baseline, so they apply
+    The twins need a genuinely unperturbed baseline, so they apply
     only to zero-fault, sabotage-free scenarios under oracle routing
     (adaptive mode reserves an escape VC per class partition and
     legitimately changes metrics even on a healthy fabric).
@@ -180,6 +198,12 @@ def _differential(
         return (
             "fused and legacy run loops disagree on zero-fault metrics",
             "parity",
+        )
+    array_twin = _execute_array(scenario)
+    if canonical_metrics(array_twin) != reference:
+        return (
+            "array and object engines disagree on zero-fault metrics",
+            "engine-parity",
         )
     if scenario.health is not None:
         bare = _execute(dataclasses.replace(scenario, health=None))

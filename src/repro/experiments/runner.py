@@ -305,6 +305,7 @@ def _simulate_wormhole(experiment, topology) -> ExperimentResult:
         config,
         on_message=collector.on_message,
         watchdog_window=getattr(experiment, "watchdog_window", None),
+        engine=getattr(experiment, "engine", "object"),
     )
     rngs = RngStreams(experiment.seed)
     _install_extras(experiment, network, rngs)

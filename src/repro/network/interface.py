@@ -14,7 +14,7 @@ reports message/frame completions to the metrics collector.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional
+from typing import Callable, Deque, List, NamedTuple, Optional
 
 from repro.core.schedulers import MuxScheduler, make_scheduler
 from repro.core.virtual_clock import VirtualClockState
@@ -43,6 +43,23 @@ class _NIVC:
     @property
     def has_flit(self) -> bool:
         return bool(self.queue)
+
+
+class NIDatapathView(NamedTuple):
+    """Hot-path state view of one host interface.
+
+    The containers (``vcs``, ``active``) are stable for the network's
+    lifetime and mutated in place by both engines, so binding them once
+    is safe; per-VC scalars (``credits``, ``sent``, ``head_stamp``) are
+    read through the :class:`_NIVC` objects — the one source of truth.
+    """
+
+    interface: "HostInterface"
+    vcs: List["_NIVC"]
+    active: set
+    scheduler: MuxScheduler
+    stateless: bool
+    link: Link
 
 
 class HostInterface:
@@ -216,6 +233,17 @@ class HostInterface:
         if not vc.queue:
             self._active.discard(msg.src_vc)
         return removed
+
+    def datapath_view(self) -> NIDatapathView:
+        """The hot state both engines share (fused-engine binding hook)."""
+        return NIDatapathView(
+            interface=self,
+            vcs=self.vcs,
+            active=self._active,
+            scheduler=self.scheduler,
+            stateless=self._stateless,
+            link=self.link,
+        )
 
     @property
     def backlog_flits(self) -> int:

@@ -11,13 +11,31 @@ and arbitration).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, NamedTuple, Optional, Tuple
 
 from repro.errors import FlowControlError
 from repro.router.flit import Message
 
 #: default link pipeline latency in cycles (wire + stage-1 sync/decode)
 DEFAULT_LINK_LATENCY = 2
+
+
+class LinkDatapathView(NamedTuple):
+    """Hot-path state view of one link (see :meth:`Link.datapath_view`).
+
+    Everything a fused engine needs to inline ``send``/``deliver_due``:
+    the consumer (exactly one of ``dest_router``/``sink`` is set) and
+    the pipeline latency.  The ``pending`` deque is deliberately *not*
+    included — :meth:`Link.purge_message` rebuilds it, so engines must
+    read ``link.pending`` through the object to stay on the one source
+    of truth.
+    """
+
+    link: "Link"
+    dest_router: Optional[object]
+    dest_port: int
+    sink: Optional[object]
+    latency: int
 
 
 class Link:
@@ -260,6 +278,16 @@ class Link:
                 kept.append(entry)
         self.pending = kept
         return dropped_vcs
+
+    def datapath_view(self) -> LinkDatapathView:
+        """The hot state both engines share (fused-engine binding hook)."""
+        return LinkDatapathView(
+            link=self,
+            dest_router=self.dest_router,
+            dest_port=self.dest_port,
+            sink=self.sink,
+            latency=self.latency,
+        )
 
     def next_arrival(self) -> Optional[int]:
         """Cycle of the earliest pending delivery, or ``None``."""

@@ -35,6 +35,7 @@ from repro.router.config import RouterConfig
 from repro.router.flit import Message
 from repro.router.router import WormholeRouter
 from repro.sim.activation import ActivationScheduler
+from repro.sim.engine import ENGINE_ARRAY, ENGINE_OBJECT, resolve_engine
 from repro.sim.events import EventHeap
 
 logger = logging.getLogger(__name__)
@@ -50,6 +51,7 @@ class Network:
         link_latency: int = DEFAULT_LINK_LATENCY,
         on_message: Optional[Callable[[Message, int], None]] = None,
         watchdog_window: Optional[int] = None,
+        engine: str = ENGINE_OBJECT,
     ) -> None:
         self.topology = topology
         if config.num_ports != topology.ports_per_router:
@@ -121,6 +123,12 @@ class Network:
 
         #: original full-scan loop fallback (read once, at construction)
         self._legacy_loop = os.environ.get("REPRO_LEGACY_LOOP", "") == "1"
+        #: selected simulation engine (validated here so a bad name or a
+        #: contradictory array+legacy selection fails before any state
+        #: exists); the array engine itself is built lazily on first run
+        #: so object-engine networks never import numpy
+        self._engine_name = resolve_engine(engine, self._legacy_loop)
+        self._engine_impl = None
         # Activation schedulers, one per component kind — kept separate
         # because the dispatch order (links, then NIs, then routers)
         # must let a link delivery activate its destination router
@@ -324,6 +332,10 @@ class Network:
                 self._link_sched.activate(index)
             else:
                 self._link_sched.deactivate(index)
+        if self._engine_impl is not None:
+            # A purge rebuilt Link.pending deques behind the array
+            # engine's head-arrival mirror; rebuild it from the objects.
+            self._engine_impl.resync()
 
     def _preempt(self, victim: Message) -> None:
         """Router hook: kill ``victim`` and schedule its retransmission."""
@@ -414,13 +426,35 @@ class Network:
     def run(self, until: int) -> None:
         """Advance the simulation to cycle ``until``.
 
-        The active-set loop visits, per executed cycle, only the links
-        with a delivery due, the NIs with backlog, and the routers with
-        busy stages — in the legacy full-scan order, so results are
-        bit-identical to :meth:`_run_legacy`.  When nothing is runnable
-        it jumps the clock to the earliest wake time (link arrival or
-        scheduled event); with flits in flight and the watchdog armed,
-        the jump is capped at ``stall_clock + watchdog_window`` so a
+        Dispatches to the selected engine: the object active-set loop
+        (:meth:`_run_object`, the default), the legacy full scan
+        (``REPRO_LEGACY_LOOP=1``), or the fused array engine
+        (``engine="array"``), which itself falls back to the object
+        loop for runs using cold features (faults, tracing, adaptive
+        routing — see :mod:`repro.sim.engine.array`).  All three are
+        bit-identical by contract.
+        """
+        if self._legacy_loop:
+            return self._run_legacy(until)
+        if self._engine_name == ENGINE_ARRAY:
+            impl = self._engine_impl
+            if impl is None:
+                from repro.sim.engine.array import ArrayEngine
+
+                impl = self._engine_impl = ArrayEngine(self)
+            return impl.run(until)
+        return self._run_object(until)
+
+    def _run_object(self, until: int) -> None:
+        """The per-component active-set loop (the object engine).
+
+        Visits, per executed cycle, only the links with a delivery due,
+        the NIs with backlog, and the routers with busy stages — in the
+        legacy full-scan order, so results are bit-identical to
+        :meth:`_run_legacy`.  When nothing is runnable it jumps the
+        clock to the earliest wake time (link arrival or scheduled
+        event); with flits in flight and the watchdog armed, the jump
+        is capped at ``stall_clock + watchdog_window`` so a
         :class:`DeadlockError` fires at exactly the cycle the legacy
         loop would have raised it.
 
@@ -432,8 +466,6 @@ class Network:
         fails fast with a diagnostic dump instead of spinning to the
         horizon.
         """
-        if self._legacy_loop:
-            return self._run_legacy(until)
         clock = self.clock
         events = self.events
         link_sched = self._link_sched

@@ -87,7 +87,12 @@ class PCSSimulator:
             routing_delay=0,
             arbitration_delay=0,
         )
-        self.network = Network(topology, config, on_message=collector.on_message)
+        self.network = Network(
+            topology,
+            config,
+            on_message=collector.on_message,
+            engine=getattr(experiment, "engine", "object"),
+        )
         self._host_router = {node: rid for node, rid, _ in topology.hosts}
         self._channel_dest = {
             (src_r, src_p): dst_r

@@ -52,8 +52,13 @@ class _MessageRecord:
 _record_pool: list = []
 
 
-def _record_acquire(msg: Message, header_time: int) -> _MessageRecord:
-    """A fresh or recycled record, fully reinitialised."""
+def acquire_record(msg: Message, header_time: int) -> _MessageRecord:
+    """A fresh or recycled record, fully reinitialised.
+
+    Public because both engines share the pool: the object path calls
+    it from :meth:`InputVC.accept_new_message`, the array engine from
+    its inlined header-arrival kernel — one freelist either way.
+    """
     if _record_pool:
         record = _record_pool.pop()
         record.msg = msg
@@ -64,7 +69,7 @@ def _record_acquire(msg: Message, header_time: int) -> _MessageRecord:
     return _MessageRecord(msg, header_time)
 
 
-def _record_release(record: _MessageRecord) -> None:
+def release_record(record: _MessageRecord) -> None:
     """Retire a record to the pool, dropping its Message reference."""
     record.msg = None
     _record_pool.append(record)
@@ -140,7 +145,7 @@ class InputVC:
 
     def accept_new_message(self, clock: int, msg: Message) -> None:
         """A header flit arrived: start a new message record."""
-        self.messages.append(_record_acquire(msg, clock))
+        self.messages.append(acquire_record(msg, clock))
         if len(self.messages) == 1:
             self.head_arrival = clock
             self.route_port = -1
@@ -201,7 +206,7 @@ class InputVC:
                 f"input VC ({self.port},{self.index}) released message "
                 f"{front.msg.msg_id} before its tail was served"
             )
-        _record_release(front)
+        release_record(front)
         self.route_port = -1
         self.route_vc = None
         if self.messages:
@@ -232,7 +237,7 @@ class InputVC:
         del stamps[offset : offset + removed]
         self.stamps = deque(stamps)
         self.buffered -= removed
-        _record_release(self.messages[position])
+        release_record(self.messages[position])
         del self.messages[position]
         if position == 0:
             self.route_port = -1

@@ -30,7 +30,7 @@ router entirely until a flit arrival re-activates it.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Set
+from typing import Callable, List, NamedTuple, Optional, Set
 
 from repro.core.schedulers import (
     MuxScheduler,
@@ -41,6 +41,41 @@ from repro.router.buffers import InputVC, OutputVC
 from repro.router.config import CrossbarKind, RouterConfig, RoutingMode
 from repro.router.flit import Message
 from repro.router.routing import RoutingFunction
+
+
+class RouterDatapathView(NamedTuple):
+    """Hot-path state view of one router (fused-engine binding hook).
+
+    Exposes the stable containers and immutable lookup tables a fused
+    engine binds once per run: buffer grids, activity sets (mutated in
+    place), the precomputed class partitions, and the per-port mux
+    selectors.  Scalars that are *reassigned* by the object path
+    (``_work``, ``_pending_arb``, ``_arb_rotate``) are deliberately
+    absent — engines must read/write them through the router attribute
+    so both paths see one source of truth.
+    """
+
+    router: "WormholeRouter"
+    inputs: List[List[InputVC]]
+    outputs: List[List[OutputVC]]
+    sendable: List[Set[int]]
+    out_active: List[Set[int]]
+    in_ports: Set[int]
+    out_ports: Set[int]
+    part: list
+    in_selectors: List[MuxScheduler]
+    out_selectors: List[MuxScheduler]
+    in_policy: MuxScheduler
+    out_policy: MuxScheduler
+    in_stateless: bool
+    out_stateless: bool
+    multiplexed: bool
+    routing_delay: int
+    arb_delay: int
+    out_links: List[Optional[object]]
+    is_host_port: List[bool]
+    route_view: object
+    out_flits: List[int]
 
 
 class WormholeRouter:
@@ -171,6 +206,32 @@ class WormholeRouter:
             else:
                 entry.append((indices[:-1], indices[-1:]))
         return tuple(entry)
+
+    def datapath_view(self) -> RouterDatapathView:
+        """The hot state both engines share (fused-engine binding hook)."""
+        return RouterDatapathView(
+            router=self,
+            inputs=self.inputs,
+            outputs=self.outputs,
+            sendable=self._sendable,
+            out_active=self._out_active,
+            in_ports=self._in_ports,
+            out_ports=self._out_ports,
+            part=self._part,
+            in_selectors=self._in_selectors,
+            out_selectors=self._out_selectors,
+            in_policy=self._in_policy,
+            out_policy=self._out_policy,
+            in_stateless=self._in_stateless,
+            out_stateless=self._out_stateless,
+            multiplexed=self._multiplexed,
+            routing_delay=self._routing_delay,
+            arb_delay=self._arb_delay,
+            out_links=self.out_links,
+            is_host_port=self.is_host_port,
+            route_view=self._route_view,
+            out_flits=self.out_flits,
+        )
 
     # ------------------------------------------------------------------
     # flit ingress (called by links and host interfaces)

@@ -1,0 +1,66 @@
+"""Simulation engine selection (``engine="object" | "array"``).
+
+The network can execute its cycle loop on two engines that are
+bit-identical by contract:
+
+* ``object`` (the default) — the component-protocol loop in
+  :meth:`repro.network.network.Network.run`: every active link, NI, and
+  router is stepped through its own ``step()`` method.  This is the
+  reference semantics, and the only engine the legacy full-scan loop
+  (``REPRO_LEGACY_LOOP=1``) applies to.
+* ``array`` — the fused dense-datapath engine
+  (:class:`repro.sim.engine.array.ArrayEngine`): the same per-cycle
+  phases, but inlined into one interpreter frame over the components'
+  shared state views, with the link pipeline's head-arrival times
+  mirrored into a preallocated numpy vector for vectorised clock
+  jumps.  Cold features (faults, health monitoring, tracing, adaptive
+  routing, preemption, loop profiling) transparently fall back to the
+  object loop for the whole run.
+
+``resolve_engine`` is the single validation point; the network calls it
+at construction so a bad name fails before any simulation state exists.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EngineError
+
+#: engine registry: names accepted by ``Network(engine=...)`` and the
+#: experiment/CLI ``--engine`` plumbing
+ENGINE_OBJECT = "object"
+ENGINE_ARRAY = "array"
+ENGINES = (ENGINE_OBJECT, ENGINE_ARRAY)
+
+DEFAULT_ENGINE = ENGINE_OBJECT
+
+
+def resolve_engine(name: str, legacy_loop: bool = False) -> str:
+    """Validate an engine name; returns the canonical name.
+
+    Raises :class:`repro.errors.EngineError` for unknown names and for
+    the contradictory combination of the array engine with the legacy
+    full-scan loop: ``REPRO_LEGACY_LOOP=1`` exists to pin the reference
+    semantics, so silently ignoring either selection would mask a
+    misconfigured A/B comparison.
+    """
+    if name not in ENGINES:
+        raise EngineError(
+            f"unknown simulation engine {name!r}; expected one of {ENGINES}"
+        )
+    if legacy_loop and name == ENGINE_ARRAY:
+        raise EngineError(
+            "engine='array' is incompatible with REPRO_LEGACY_LOOP=1: the "
+            "legacy full-scan loop pins the object engine's reference "
+            "semantics; unset the variable or request engine='object'"
+        )
+    return name
+
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "ENGINE_ARRAY",
+    "ENGINE_OBJECT",
+    "EngineError",
+    "resolve_engine",
+]

@@ -1,0 +1,1078 @@
+"""The fused dense-datapath engine (``engine="array"``).
+
+The object engine spends the dense operating points (every VC busy every
+cycle) almost entirely on Python call dispatch: one ``step()`` per
+component plus one method call per flit per pipeline stage.  This engine
+replaces the per-object dispatch with **one interpreter frame per run**
+that executes the same four phases per cycle — events, link delivery,
+NI injection, router stages 5 → 4 → 2/3 — with every per-flit helper
+(``Link.send``/``deliver_due``, ``HostInterface.step``,
+``WormholeRouter.accept_flit``, the mux stamp/select methods, the
+buffer push/pop methods) inlined over the components' *shared* state
+views (``datapath_view()`` on routers, links, and NIs).
+
+State layout
+------------
+
+The engine does not fork the simulation state.  All authoritative
+datapath state — VC occupancy and head-flit cursors, credit counters,
+NI queues, activity sets — stays in the slotted component objects, so
+cold paths (message kills, transport timeouts, conservation audits)
+observe exactly what the object engine would.  What the engine *does*
+extract is the link pipeline's derived hot state: ``_link_head[i]``
+mirrors ``links[i].pending[0][0]`` (or a far sentinel when the wire is
+idle), maintained by the inlined send/deliver kernels.  The mirror's
+representation is size-adaptive: small fabrics (≤ 128 links) use a
+plain Python list — indexed loads stay unboxed-cheap and a drained
+link may *lazily* keep its active-list slot holding the sentinel,
+saving two copy-on-write edits per drain/refill pair — while larger
+fabrics switch to a preallocated ``int64`` numpy vector whose
+idle-phase clock jumps reduce in C over one contiguous buffer instead
+of touching every active link object (the term that grows with
+topology size on the 1024-host fabrics; there, drained links
+deactivate eagerly because boxed scalar reads make stale entries
+expensive).  ``Network._resync_activity`` (the purge/kill path) calls
+:meth:`ArrayEngine.resync` to rebuild the mirror whenever a cold path
+edits ``pending`` behind the kernels' back.
+
+Kernel ordering
+---------------
+
+Per executed cycle, in this exact order (the bit-identical contract
+with the object loop):
+
+1. event heap (``fire_due``) — injections, transport timeouts;
+2. link delivery, ascending link id — inlined ``accept_flit`` into
+   router input VCs, inlined sink ejection at hosts;
+3. NI injection, ascending NI id — inlined single-VC fast path and
+   candidate scan, lazy Virtual Clock stamping;
+4. routers, ascending router id, stages downstream-to-upstream:
+   stage 5 (output VC mux + link send), stage 4 (crossbar), stages
+   2/3 (routing + output VC arbitration with rotation).
+
+Within a phase the kernels are free to visit per-component work in any
+order that is unobservable through shared state, and exploit that to
+skip sorting: stage-5 output ports drain in set order (distinct links,
+VCs, and commutative counters), and the crossbar also iterates its
+input ports unsorted but *defers* its one order-observable side effect
+— tail-release appends to the router's shared ``_pending_arb``
+worklist — into a buffer flushed in sorted-port order before stages
+2/3 consume it.
+
+Cold-path fallback rules
+------------------------
+
+The fused kernels implement the dense fault-free datapath only.  A run
+with any of the following delegates, for the *whole* ``run()`` call, to
+the object loop (``Network._run_object``) — same results, object-path
+speed: an installed fault injector, health monitor, trace sink, or
+loop profiler; adaptive routing; preemption; or a router
+``on_crossbar`` hook.  The check re-runs on every ``run()`` call, so a
+network that gains tracing between runs simply stops using the fused
+kernels.  Inside a fused run, rare events stay on object code by
+construction: event callbacks (injection, transport teardown) run the
+ordinary network API, and purges resynchronise the engine through
+:meth:`resync`.
+"""
+
+from __future__ import annotations
+
+import logging
+from operator import itemgetter
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.schedulers import SchedulingPolicy
+from repro.core.virtual_clock import BEST_EFFORT_VTICK
+from repro.errors import FlowControlError
+from repro.router.buffers import acquire_record, release_record
+from repro.router.config import RoutingMode
+from repro.router.flit import TrafficClass
+
+logger = logging.getLogger(__name__)
+
+#: sentinel arrival for idle links — far beyond any simulated horizon,
+#: and small enough that int64 arithmetic can never overflow on it
+_FAR = 1 << 62
+
+#: sort key for the crossbar's deferred ``_pending_arb`` appends
+_by_port = itemgetter(0)
+
+
+class ArrayEngine:
+    """Fused per-cycle interpreter over the network's shared hot state."""
+
+    name = "array"
+
+    def __init__(self, network) -> None:
+        self._net = network
+        config = network.config
+        # Global datapath flags — one RouterConfig serves every router,
+        # so the stamp/select specialisation is network-wide.
+        router0 = network.routers[0] if network.routers else None
+        if router0 is not None:
+            view = router0.datapath_view()
+            self._in_vc = (
+                view.in_policy.policy == SchedulingPolicy.VIRTUAL_CLOCK
+            )
+            self._out_vc = (
+                view.out_policy.policy == SchedulingPolicy.VIRTUAL_CLOCK
+            )
+            self._in_stateless = view.in_stateless
+            self._out_stateless = view.out_stateless
+            self._multiplexed = view.multiplexed
+            self._routing_delay = view.routing_delay
+            self._arb_delay = view.arb_delay
+        self._dyn_part = config.dynamic_partitioning
+        self._be_bind = config.be_dst_vc_binding
+        #: one RouterConfig serves every router, so the output staging
+        #: capacity is a network-wide constant the kernels can hoist
+        self._out_cap = config.output_buffer_depth
+
+        #: per-router bound state (RouterDatapathView), indexed by id
+        self._router_views = [r.datapath_view() for r in network.routers]
+
+        #: per-link consumer bindings, indexed by link id:
+        #: (link, input_vcs, dest_router, dest_rid, sink,
+        #:  sink_counts_inline, sink_delivers_inline)
+        link_index = {}
+        info = []
+        for idx, link in enumerate(network.links):
+            link_index[id(link)] = idx
+            lview = link.datapath_view()
+            if lview.dest_router is not None:
+                dest = lview.dest_router
+                info.append(
+                    (
+                        link,
+                        dest.inputs[lview.dest_port],
+                        dest,
+                        dest.router_id,
+                        None,
+                        False,
+                        False,
+                    )
+                )
+            else:
+                sink = lview.sink
+                info.append(
+                    (
+                        link,
+                        None,
+                        None,
+                        -1,
+                        sink,
+                        sink.on_flit == network._flit_ejected,
+                        sink.on_message == network._message_delivered,
+                    )
+                )
+        self._link_info = info
+        self._link_index = link_index
+
+        #: per-NI bindings, indexed by NI scheduler id:
+        #: (ni, vcs, active_set, scheduler, stateless, link, link_id,
+        #:  latency)
+        ni_info = []
+        for ni in network._ni_list:
+            nview = ni.datapath_view()
+            ni_info.append(
+                (
+                    ni,
+                    nview.vcs,
+                    nview.active,
+                    nview.scheduler,
+                    nview.stateless,
+                    nview.link,
+                    link_index[id(nview.link)],
+                    nview.link.latency,
+                )
+            )
+            self._ni_vc = (
+                nview.scheduler.policy == SchedulingPolicy.VIRTUAL_CLOCK
+            )
+        self._ni_info = ni_info
+
+        #: per-router per-port outgoing link ids (−1 where unwired) and
+        #: latencies, for the inlined stage-5 send
+        self._router_link_ids: List[List[int]] = []
+        self._router_latency: List[List[int]] = []
+        self._router_links: List[list] = []
+        for router in network.routers:
+            ids, lats = [], []
+            for link in router.out_links:
+                if link is None:
+                    ids.append(-1)
+                    lats.append(0)
+                else:
+                    ids.append(link_index[id(link)])
+                    lats.append(link.latency)
+            self._router_link_ids.append(ids)
+            self._router_latency.append(lats)
+            self._router_links.append(list(router.out_links))
+
+        #: mirror of every link's head arrival (the array-backed hot
+        #: state; see the module docstring's state-layout section).
+        #: Representation is size-adaptive: a numpy ``int64`` vector
+        #: only pays off once the idle-jump reduction spans enough
+        #: links (~1 µs fixed call cost vs ~11 ns per element for a
+        #: Python-list ``min``); below the crossover a plain list is
+        #: faster on both the per-flit stores (no scalar boxing) and
+        #: the reduction itself.
+        self._head_is_array = len(network.links) > 128
+        if self._head_is_array:
+            self._link_head = np.full(
+                len(network.links), _FAR, dtype=np.int64
+            )
+        else:
+            self._link_head = [_FAR] * len(network.links)
+
+        #: per-router per-port count of unowned output VCs.  When a
+        #: port has none, every arbitration attempt on it resolves to
+        #: still-waiting (the bound-VC and both partition scans can
+        #: only find owned VCs), so stages 2/3 skip the O(VCs) scans.
+        #: Rebuilt on every fused-run entry and by :meth:`resync`;
+        #: maintained inline at grant (stage 2/3) and release (stage 5).
+        self._free_out = [
+            [0] * len(view.outputs) for view in self._router_views
+        ]
+
+        #: everything the router phases touch, one tuple per router —
+        #: a single index + unpack per router per cycle instead of a
+        #: dozen attribute loads on the view
+        self._router_hot = [
+            (
+                view.router,
+                view.inputs,
+                view.outputs,
+                view.out_active,
+                view.out_ports,
+                view.out_flits,
+                view.out_selectors,
+                view.in_ports,
+                view.sendable,
+                view.in_selectors,
+                view.part,
+                view.is_host_port,
+                view.route_view.candidates,
+                self._router_link_ids[rid],
+                self._router_latency[rid],
+                self._router_links[rid],
+            )
+            for rid, view in enumerate(self._router_views)
+        ]
+
+    # ------------------------------------------------------------------
+    # consistency hooks
+
+    def resync(self) -> None:
+        """Rebuild the link head-arrival mirror from the object state.
+
+        Called by ``Network._resync_activity`` after a purge rebuilt
+        ``Link.pending`` deques, and at the start of every fused run in
+        case a fallback (object-loop) run moved flits in between.
+        """
+        head = self._link_head
+        for idx, entry in enumerate(self._link_info):
+            pending = entry[0].pending
+            head[idx] = pending[0][0] if pending else _FAR
+        for rid, view in enumerate(self._router_views):
+            counts = self._free_out[rid]
+            for port, ovcs in enumerate(view.outputs):
+                free = 0
+                for ovc in ovcs:
+                    if ovc.owner is None:
+                        free += 1
+                counts[port] = free
+
+    def fallback_reason(self) -> Optional[str]:
+        """Why this run cannot use the fused kernels (None = it can)."""
+        net = self._net
+        if net.trace is not None:
+            return "tracing installed"
+        if net.fault_injector is not None:
+            return "fault injection installed"
+        if net.health_monitor is not None:
+            return "health monitoring installed"
+        if net.profiler is not None:
+            return "loop profiler attached"
+        config = net.config
+        if config.routing_mode == RoutingMode.ADAPTIVE:
+            return "adaptive routing"
+        if config.preemption:
+            return "preemption enabled"
+        for router in net.routers:
+            if router.on_crossbar is not None or router.trace is not None:
+                return "router hook installed"
+        return None
+
+    # ------------------------------------------------------------------
+    # the fused run loop
+
+    def run(self, until: int) -> None:
+        """Advance the network to ``until`` (dispatch target of Network.run)."""
+        reason = self.fallback_reason()
+        if reason is not None:
+            logger.debug(
+                "array engine: %s; delegating run to the object loop", reason
+            )
+            return self._net._run_object(until)
+        self.resync()
+        return self._run_fused(until)
+
+    def _run_fused(self, until: int) -> None:
+        net = self._net
+        clock = net.clock
+        events = net.events
+        heap = events._heap
+        link_sched = net._link_sched
+        ni_sched = net._ni_sched
+        router_sched = net._router_sched
+        link_activate = link_sched.activate
+        link_deactivate = link_sched.deactivate
+        link_due = link_sched.due
+        link_times = link_sched._times
+        ni_deactivate = ni_sched.deactivate
+        ni_due = ni_sched.due
+        ni_times = ni_sched._times
+        router_activate = router_sched.activate
+        router_deactivate = router_sched.deactivate
+        router_due = router_sched.due
+        router_times = router_sched._times
+        ni_active_set = ni_sched._active
+        router_active_set = router_sched._active
+        link_info = self._link_info
+        ni_info = self._ni_info
+        router_hot = self._router_hot
+        link_head = self._link_head
+        head_is_array = self._head_is_array
+        link_count = len(link_head)
+        free_out = self._free_out
+        out_cap = self._out_cap
+        watchdog = net.watchdog_window
+        transport = net.transport
+
+        in_vc = self._in_vc
+        out_vc = self._out_vc
+        in_stateless = self._in_stateless
+        out_stateless = self._out_stateless
+        multiplexed = self._multiplexed
+        routing_delay = self._routing_delay
+        #: reusable buffer for the crossbar's deferred _pending_arb
+        #: appends — always empty outside the crossbar block
+        arb_buf = []
+        arb_delay = self._arb_delay
+        dyn_part = self._dyn_part
+        be_bind = self._be_bind
+        ni_vc = self._ni_vc
+        record_pool_append = release_record
+        #: Message.is_real_time inlined: membership in the RT classes
+        rt_classes = TrafficClass.REAL_TIME
+
+        stall_clock = max(net._stall_clock, clock - 1)
+        while clock < until:
+            if not (ni_active_set or router_active_set):
+                # Idle-phase jump: earliest scheduled event or link head
+                # arrival.  The head mirror covers *all* links (idle
+                # ones hold the far sentinel), so the reduction is one
+                # contiguous vector min instead of a per-active-link
+                # object walk.
+                nxt = heap[0][0] if heap else None
+                if link_count:
+                    if head_is_array:
+                        arrival = int(link_head.min())
+                    else:
+                        arrival = min(link_head)
+                    if arrival < _FAR and (nxt is None or arrival < nxt):
+                        nxt = arrival
+                if nxt is None:
+                    if net._flits_in_flight == 0:
+                        clock = until
+                        break
+                    # Defensive backstop, same contract as the object
+                    # loop: flits alive but no wake armed — degrade the
+                    # network to the legacy full scan permanently.
+                    logger.warning(
+                        "array engine lost track of %d in-flight flits at "
+                        "cycle %d; falling back to the legacy loop",
+                        net._flits_in_flight,
+                        clock,
+                    )
+                    net._legacy_loop = True
+                    net._stall_clock = stall_clock
+                    net.clock = clock
+                    return net._run_legacy(until)
+                if nxt > clock:
+                    if watchdog is not None and net._flits_in_flight:
+                        cap = stall_clock + watchdog
+                        if cap < nxt:
+                            nxt = cap
+                    clock = nxt if nxt < until else until
+                    if net._flits_in_flight == 0:
+                        stall_clock = clock
+                    if clock >= until:
+                        break
+            net.clock = clock
+            if heap and heap[0][0] <= clock:
+                events.fire_due(clock)
+            progress = 0
+
+            # -- phase 1: link delivery (inlined Link.deliver_due) ------
+            if link_times and link_times[0] <= clock:
+                due_ids = link_due(clock)
+            else:
+                # Inlined ActivationScheduler.due steady-state path:
+                # loan the maintained ascending active list.
+                link_sched._loaned = True
+                due_ids = link_sched._list
+            for index in due_ids:
+                # The head mirror is maintained at every send/deliver,
+                # so active links with nothing due this cycle cost one
+                # list index instead of an unpack plus a deque peek.
+                if link_head[index] > clock:
+                    continue
+                (
+                    link,
+                    ivcs,
+                    router,
+                    rid,
+                    sink,
+                    flit_inline,
+                    msg_inline,
+                ) = link_info[index]
+                pending = link.pending
+                if not pending:
+                    # Emptied behind our back (purge); drop from the set.
+                    link_deactivate(index)
+                    link_head[index] = _FAR
+                    continue
+                if pending[0][0] > clock:
+                    # Stale-due mirror entry (cold-path edit): repair it.
+                    link_head[index] = pending[0][0]
+                    continue
+                if ivcs is not None:
+                    port = ivcs[0].port
+                    popleft = pending.popleft
+                    sendable = router._sendable[port]
+                    router_in_ports = router._in_ports
+                    # Activation is idempotent, so one batched check
+                    # after the drain replaces the per-flit transition
+                    # test the object path performs inside accept_flit.
+                    was_idle = not router._work
+                    delivered = 0
+                    # do-while: the outer guard already proved the head
+                    # flit is due, so pop before re-testing.
+                    while True:
+                        _, msg, flit_index, vc_index = popleft()
+                        delivered += 1
+                        # ---- inlined WormholeRouter.accept_flit ----
+                        vc = ivcs[vc_index]
+                        vst = vc.vstate
+                        messages = vc.messages
+                        if flit_index == 0:
+                            messages.append(acquire_record(msg, clock))
+                            if len(messages) == 1:
+                                vc.head_arrival = clock
+                                vc.route_port = -1
+                                vc.route_vc = None
+                                router._pending_arb.append(vc)
+                                router._work += 1
+                            vst.auxvc = float(clock)
+                            vst.vtick = msg.vtick
+                            vst.is_open = True
+                        elif not messages:
+                            raise FlowControlError(
+                                f"input VC ({vc.port},{vc.index}) got a flit "
+                                f"without a header"
+                            )
+                        if in_vc:
+                            stamp = vst.auxvc
+                            if clock > stamp:
+                                stamp = clock
+                            stamp += vst.vtick
+                            vst.auxvc = stamp
+                        else:
+                            stamp = float(clock)
+                        if vc.buffered >= vc.capacity:
+                            raise FlowControlError(
+                                f"input VC ({vc.port},{vc.index}) overflow: "
+                                f"upstream sent a flit without credit"
+                            )
+                        messages[-1].arrived += 1
+                        vc.buffered += 1
+                        vc.stamps.append(stamp)
+                        if vc.route_vc is not None:
+                            front = messages[0]
+                            if front.arrived > front.served:
+                                if vc_index not in sendable:
+                                    sendable.add(vc_index)
+                                    router_in_ports.add(port)
+                                    router._work += 1
+                        if not pending:
+                            head_val = _FAR
+                            break
+                        head_val = pending[0][0]
+                        if head_val > clock:
+                            break
+                    progress += delivered
+                    if was_idle and router._work:
+                        router_activate(rid)
+                else:
+                    node = sink.node_id
+                    popleft = pending.popleft
+                    # With the standard inline wiring, flit counters
+                    # batch into a local and flush before any callback
+                    # runs, so callbacks observe the same counts the
+                    # per-flit object path shows.  Custom on_flit sinks
+                    # keep the per-flit updates.
+                    ejected = 0
+                    # do-while; see the router branch above.
+                    while True:
+                        _, msg, flit_index, vc_index = popleft()
+                        # ---- inlined HostSink.eject ----
+                        if flit_inline:
+                            ejected += 1
+                        else:
+                            sink.flits_ejected += 1
+                            progress += 1
+                            if sink.on_flit is not None:
+                                sink.on_flit(1)
+                        if flit_index == msg.last_flit:
+                            if ejected:
+                                sink.flits_ejected += ejected
+                                net._flits_in_flight -= ejected
+                                net.flits_ejected += ejected
+                                progress += ejected
+                                ejected = 0
+                            if msg.dst_node != node:
+                                raise FlowControlError(
+                                    f"message {msg.msg_id} for node "
+                                    f"{msg.dst_node} ejected at node {node}"
+                                )
+                            if (
+                                msg.corrupted
+                                and sink.on_corrupt is not None
+                            ):
+                                sink.messages_corrupt += 1
+                                sink.on_corrupt(msg, clock)
+                            else:
+                                msg.deliver_time = clock
+                                sink.messages_ejected += 1
+                                if msg_inline:
+                                    net.messages_delivered += 1
+                                    if transport is not None:
+                                        transport.on_delivered(msg)
+                                    if net._on_message is not None:
+                                        net._on_message(msg, clock)
+                                elif sink.on_message is not None:
+                                    sink.on_message(msg, clock)
+                        if not pending:
+                            head_val = _FAR
+                            break
+                        head_val = pending[0][0]
+                        if head_val > clock:
+                            break
+                    if ejected:
+                        sink.flits_ejected += ejected
+                        net._flits_in_flight -= ejected
+                        net.flits_ejected += ejected
+                        progress += ejected
+                # With the list-backed mirror a drained link stays in
+                # the active list holding the far sentinel (lazy
+                # deactivation): dense traffic refills links within a
+                # few cycles, an eager deactivate/activate pair costs
+                # two copy-on-write list edits per drain while the
+                # list is loaned, and a stale entry costs one cheap
+                # list-index check per cycle.  Links are safe to treat
+                # lazily because (unlike NIs and routers) they never
+                # gate the idle jump, and both loops skip-or-heal
+                # stale entries.  The numpy mirror keeps the eager
+                # deactivate: its scalar reads box on every access, so
+                # stale entries are ~3x dearer per cycle and big
+                # topologies accumulate far more of them.
+                link_head[index] = head_val
+                if head_val == _FAR and head_is_array:
+                    link_deactivate(index)
+
+            # -- phase 2: NI injection (inlined HostInterface.step) -----
+            if ni_times and ni_times[0] <= clock:
+                due_ids = ni_due(clock)
+            else:
+                ni_sched._loaned = True
+                due_ids = ni_sched._list
+            for index in due_ids:
+                (
+                    ni,
+                    vcs,
+                    active,
+                    scheduler,
+                    stateless,
+                    link,
+                    link_id,
+                    latency,
+                ) = ni_info[index]
+                if not active:
+                    ni_deactivate(index)
+                    continue
+                if len(active) == 1 and stateless:
+                    for chosen in active:
+                        break
+                    vc = vcs[chosen]
+                    if vc.credits <= 0:
+                        continue
+                    if vc.head_stamp is None:
+                        msg = vc.queue[0]
+                        if ni_vc:
+                            vst = vc.vstate
+                            stamp = vst.auxvc
+                            inject_time = msg.inject_time
+                            if inject_time > stamp:
+                                stamp = inject_time
+                            stamp += vst.vtick
+                            vst.auxvc = stamp
+                            vc.head_stamp = stamp
+                        else:
+                            vc.head_stamp = float(msg.inject_time)
+                elif stateless:
+                    # Stateless policies pick min((stamp, index)); track
+                    # the running minimum instead of building the
+                    # candidate list (ties go to the lowest index, and
+                    # the minimum is iteration-order independent).
+                    best = None
+                    chosen = -1
+                    for vc_index in active:
+                        vc = vcs[vc_index]
+                        if vc.credits > 0:
+                            stamp = vc.head_stamp
+                            if stamp is None:
+                                msg = vc.queue[0]
+                                if ni_vc:
+                                    vst = vc.vstate
+                                    stamp = vst.auxvc
+                                    inject_time = msg.inject_time
+                                    if inject_time > stamp:
+                                        stamp = inject_time
+                                    stamp += vst.vtick
+                                    vst.auxvc = stamp
+                                else:
+                                    stamp = float(msg.inject_time)
+                                vc.head_stamp = stamp
+                            if best is None or stamp < best or (
+                                stamp == best and vc_index < chosen
+                            ):
+                                best = stamp
+                                chosen = vc_index
+                    if chosen < 0:
+                        continue
+                    vc = vcs[chosen]
+                else:
+                    candidates = []
+                    for vc_index in active:
+                        vc = vcs[vc_index]
+                        if vc.credits > 0:
+                            stamp = vc.head_stamp
+                            if stamp is None:
+                                msg = vc.queue[0]
+                                if ni_vc:
+                                    vst = vc.vstate
+                                    stamp = vst.auxvc
+                                    inject_time = msg.inject_time
+                                    if inject_time > stamp:
+                                        stamp = inject_time
+                                    stamp += vst.vtick
+                                    vst.auxvc = stamp
+                                else:
+                                    stamp = float(msg.inject_time)
+                                vc.head_stamp = stamp
+                            candidates.append((stamp, vc_index))
+                    if not candidates:
+                        continue
+                    chosen = scheduler.select(candidates)
+                    vc = vcs[chosen]
+                msg = vc.queue[0]
+                flit_index = vc.sent
+                vc.credits -= 1
+                vc.sent = flit_index + 1
+                vc.head_stamp = None
+                # ---- inlined Link.send onto the host wire ----
+                arrival = clock + latency
+                pending = link.pending
+                if not pending:
+                    link_activate(link_id)
+                    link_head[link_id] = arrival
+                pending.append((arrival, msg, flit_index, chosen))
+                if flit_index == 0 and ni.on_start is not None:
+                    ni.on_start(msg, clock)
+                if flit_index == msg.last_flit:
+                    vc.queue.popleft()
+                    vst = vc.vstate
+                    if vc.queue:
+                        head = vc.queue[0]
+                        vc.sent = 0
+                        vst.auxvc = float(head.inject_time)
+                        vst.vtick = head.vtick
+                        vst.is_open = True
+                    else:
+                        vst.is_open = False
+                        vst.auxvc = 0.0
+                        vst.vtick = BEST_EFFORT_VTICK
+                        active.discard(chosen)
+                        if not active:
+                            ni_deactivate(index)
+
+            # -- phases 3-5: routers, stages 5 -> 4 -> 2/3 --------------
+            if router_times and router_times[0] <= clock:
+                due_ids = router_due(clock)
+            else:
+                router_sched._loaned = True
+                due_ids = router_sched._list
+            for rid in due_ids:
+                (
+                    router,
+                    inputs,
+                    outputs,
+                    out_active,
+                    out_ports,
+                    out_flits,
+                    out_selectors,
+                    in_ports,
+                    sendable_sets,
+                    in_selectors,
+                    part,
+                    is_host_port,
+                    candidates_of,
+                    link_ids,
+                    latencies,
+                    links_of,
+                ) = router_hot[rid]
+                if not router._work:
+                    router_deactivate(rid)
+                    continue
+                free_ports = free_out[rid]
+
+                # ---- stage 5: output VC mux + link send ----
+                if out_ports:
+                    # Stage-5 ports are independent — distinct links,
+                    # VCs, and commutative counters, and (unlike the
+                    # crossbar) no appends to a shared worklist — so the
+                    # drain order across ports is unobservable; an
+                    # unsorted copy avoids the per-cycle sort while
+                    # keeping mutation-safety.
+                    ports = list(out_ports)
+                    for port in ports:
+                        active5 = out_active[port]
+                        ovcs = outputs[port]
+                        if len(active5) == 1 and out_stateless:
+                            for chosen in active5:
+                                break
+                            ovc = ovcs[chosen]
+                            if ovc.downstream is not None and ovc.credits <= 0:
+                                continue
+                        elif out_stateless:
+                            # Running min((stamp, index)) — see phase 2.
+                            best = None
+                            chosen = -1
+                            for vc_index in active5:
+                                ovc = ovcs[vc_index]
+                                if ovc.downstream is None or ovc.credits > 0:
+                                    stamp = ovc.stamps[0]
+                                    if best is None or stamp < best or (
+                                        stamp == best and vc_index < chosen
+                                    ):
+                                        best = stamp
+                                        chosen = vc_index
+                            if chosen < 0:
+                                continue
+                            ovc = ovcs[chosen]
+                        else:
+                            candidates = []
+                            for vc_index in active5:
+                                ovc = ovcs[vc_index]
+                                if ovc.downstream is None or ovc.credits > 0:
+                                    candidates.append(
+                                        (ovc.stamps[0], vc_index)
+                                    )
+                            if not candidates:
+                                continue
+                            chosen = out_selectors[port].select(
+                                candidates
+                            )
+                            ovc = ovcs[chosen]
+                        queue = ovc.queue
+                        ovc.stamps.popleft()
+                        msg, flit_index = queue.popleft()
+                        if ovc.downstream is not None:
+                            ovc.credits -= 1
+                        link_id = link_ids[port]
+                        if link_id < 0:
+                            raise FlowControlError(
+                                f"router {rid} port {port} has staged flits "
+                                f"but no outgoing link"
+                            )
+                        # ---- inlined Link.send ----
+                        arrival = clock + latencies[port]
+                        pending = links_of[port].pending
+                        if not pending:
+                            link_activate(link_id)
+                            link_head[link_id] = arrival
+                        pending.append((arrival, msg, flit_index, chosen))
+                        out_flits[port] += 1
+                        if not queue:
+                            active5.discard(chosen)
+                            if not active5:
+                                out_ports.discard(port)
+                            router._work -= 1
+                        if flit_index == msg.last_flit:
+                            ovc.owner = None
+                            free_ports[port] += 1
+                            vst = ovc.vstate
+                            vst.is_open = False
+                            vst.auxvc = 0.0
+                            vst.vtick = BEST_EFFORT_VTICK
+
+                # ---- stage 4: crossbar ----
+                if in_ports:
+                    # Unlike stage 5, crossbar port order is observable
+                    # through exactly one side effect: a tail flit whose
+                    # input VC holds a buffered next message appends
+                    # that VC to the shared _pending_arb worklist, and
+                    # stage 2/3 serves it in append order.  Iterate the
+                    # ports unsorted (saving the per-cycle sort) but
+                    # defer those appends and flush them in the object
+                    # path's sorted-port order below.
+                    ports = list(in_ports)
+                    for port in ports:
+                        sendable = sendable_sets[port]
+                        if not sendable:
+                            continue
+                        port_vcs = inputs[port]
+                        if multiplexed:
+                            if len(sendable) == 1 and in_stateless:
+                                for chosen in sendable:
+                                    break
+                                vc = port_vcs[chosen]
+                                if vc.ready_at > clock:
+                                    continue
+                                ovc = vc.route_vc
+                                if len(ovc.queue) >= out_cap:
+                                    continue
+                                moves = (vc,)
+                            elif in_stateless:
+                                # Running min((stamp, index)) — see
+                                # phase 2.
+                                best = None
+                                chosen = -1
+                                for vc_index in sendable:
+                                    vc = port_vcs[vc_index]
+                                    if vc.ready_at > clock:
+                                        continue
+                                    ovc = vc.route_vc
+                                    if len(ovc.queue) >= out_cap:
+                                        continue
+                                    stamp = vc.stamps[0]
+                                    if best is None or stamp < best or (
+                                        stamp == best and vc_index < chosen
+                                    ):
+                                        best = stamp
+                                        chosen = vc_index
+                                if chosen < 0:
+                                    continue
+                                moves = (port_vcs[chosen],)
+                            else:
+                                candidates = []
+                                for vc_index in sendable:
+                                    vc = port_vcs[vc_index]
+                                    if vc.ready_at > clock:
+                                        continue
+                                    ovc = vc.route_vc
+                                    if len(ovc.queue) >= out_cap:
+                                        continue
+                                    candidates.append(
+                                        (vc.stamps[0], vc_index)
+                                    )
+                                if not candidates:
+                                    continue
+                                chosen = in_selectors[port].select(
+                                    candidates
+                                )
+                                moves = (port_vcs[chosen],)
+                        else:
+                            moves = []
+                            for vc_index in list(sendable):
+                                vc = port_vcs[vc_index]
+                                if vc.ready_at > clock:
+                                    continue
+                                ovc = vc.route_vc
+                                if len(ovc.queue) >= out_cap:
+                                    continue
+                                moves.append(vc)
+                        for vc in moves:
+                            # ---- inlined _move_through_crossbar ----
+                            ovc = vc.route_vc
+                            messages = vc.messages
+                            front = messages[0]
+                            if front.arrived <= front.served:
+                                raise FlowControlError(
+                                    f"input VC ({vc.port},{vc.index}) "
+                                    f"drained with no serviceable flit"
+                                )
+                            vc.stamps.popleft()
+                            vc.buffered -= 1
+                            flit_index = front.served
+                            front.served = flit_index + 1
+                            msg = front.msg
+                            sink = vc.credit_sink
+                            if sink is not None:
+                                sink.credits += 1
+                            if out_vc:
+                                vst = ovc.vstate
+                                stamp = vst.auxvc
+                                if clock > stamp:
+                                    stamp = clock
+                                stamp += vst.vtick
+                                vst.auxvc = stamp
+                            else:
+                                stamp = float(clock)
+                            out_queue = ovc.queue
+                            if not out_queue:
+                                # Stage 5 discards the VC from the
+                                # active set exactly when its staging
+                                # queue drains, so empty-queue is the
+                                # activation edge.
+                                out_port = ovc.port
+                                out_active[out_port].add(ovc.index)
+                                out_ports.add(out_port)
+                                router._work += 1
+                            out_queue.append((msg, flit_index))
+                            ovc.stamps.append(stamp)
+                            if flit_index == msg.last_flit:
+                                sendable.discard(vc.index)
+                                if not sendable:
+                                    in_ports.discard(port)
+                                router._work -= 1
+                                # ---- inlined release_front ----
+                                messages.popleft()
+                                if front.served != msg.size:
+                                    raise FlowControlError(
+                                        f"input VC ({vc.port},{vc.index}) "
+                                        f"released message {msg.msg_id} "
+                                        f"before its tail was served"
+                                    )
+                                record_pool_append(front)
+                                vc.route_port = -1
+                                vc.route_vc = None
+                                if messages:
+                                    vc.head_arrival = messages[
+                                        0
+                                    ].header_time
+                                    arb_buf.append((port, vc))
+                                    router._work += 1
+                            elif front.arrived <= front.served:
+                                sendable.discard(vc.index)
+                                if not sendable:
+                                    in_ports.discard(port)
+                                router._work -= 1
+                    if arb_buf:
+                        # Flush in sorted-port order (stable: within a
+                        # port the full crossbar keeps its move order).
+                        if len(arb_buf) > 1:
+                            arb_buf.sort(key=_by_port)
+                        pending_arb = router._pending_arb
+                        for _, vc in arb_buf:
+                            pending_arb.append(vc)
+                        del arb_buf[:]
+
+                # ---- stages 2/3: routing + output VC arbitration ----
+                pending_arb = router._pending_arb
+                if pending_arb:
+                    rotate = router._arb_rotate % len(pending_arb)
+                    router._arb_rotate += 1
+                    if rotate:
+                        ordered = (
+                            pending_arb[rotate:] + pending_arb[:rotate]
+                        )
+                    else:
+                        ordered = pending_arb
+                    router._pending_arb = []
+                    still_waiting = []
+                    for vc in ordered:
+                        messages = vc.messages
+                        if not messages:  # defensive: released mid-queue
+                            router._work -= 1
+                            continue
+                        if clock < vc.head_arrival + routing_delay:
+                            still_waiting.append(vc)
+                            continue
+                        msg = messages[0].msg
+                        port = vc.route_port
+                        if port < 0:
+                            route_ports = candidates_of(msg.dst_node)
+                            if len(route_ports) == 1:
+                                port = route_ports[0]
+                            else:
+                                port = router._select_output_port(
+                                    clock, route_ports
+                                )
+                            vc.route_port = port
+                        if not free_ports[port]:
+                            # Every output VC is owned: the bound-VC
+                            # check and both partition scans can only
+                            # come up empty, so the attempt blocks.
+                            still_waiting.append(vc)
+                            continue
+                        real_time = msg.traffic_class in rt_classes
+                        ovcs = outputs[port]
+                        ovc = None
+                        if is_host_port[port] and msg.dst_vc is not None:
+                            bound = ovcs[msg.dst_vc]
+                            if bound.owner is None:
+                                ovc = bound
+                            elif real_time or be_bind:
+                                still_waiting.append(vc)
+                                continue
+                        if ovc is None:
+                            for vc_index in part[port][real_time][0]:
+                                candidate = ovcs[vc_index]
+                                if candidate.owner is None:
+                                    ovc = candidate
+                                    break
+                            else:
+                                if dyn_part and not real_time:
+                                    for vc_index in part[port][True][0]:
+                                        candidate = ovcs[vc_index]
+                                        if candidate.owner is None:
+                                            ovc = candidate
+                                            break
+                        if ovc is None:
+                            still_waiting.append(vc)
+                            continue
+                        # ---- inlined OutputVC.grant ----
+                        ovc.owner = msg
+                        free_ports[ovc.port] -= 1
+                        vst = ovc.vstate
+                        vst.auxvc = float(clock)
+                        vst.vtick = msg.vtick
+                        vst.is_open = True
+                        vc.route_vc = ovc
+                        vc.ready_at = clock + arb_delay
+                        front = messages[0]
+                        if front.arrived > front.served:
+                            sendable = sendable_sets[vc.port]
+                            if vc.index not in sendable:
+                                sendable.add(vc.index)
+                                in_ports.add(vc.port)
+                                router._work += 1
+                        router._work -= 1
+                    router._pending_arb.extend(still_waiting)
+
+                if not router._work:
+                    router_deactivate(rid)
+
+            if watchdog is not None:
+                if progress or not net._flits_in_flight:
+                    stall_clock = clock
+                elif clock - stall_clock >= watchdog:
+                    net._watchdog_fire(clock, stall_clock, watchdog)
+            clock += 1
+        net._stall_clock = stall_clock
+        net.clock = clock

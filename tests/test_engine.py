@@ -1,0 +1,182 @@
+"""Engine selection and the array/object bit-identity contract.
+
+The array engine's correctness contract is *bit-identical metrics*:
+every workload family of the tier-1 suite must produce the same
+``RunMetrics`` (and fault stats, where present) under
+``engine="array"`` as under the default object engine — whether the
+run actually uses the fused kernels or transparently falls back to the
+object loop for a cold feature.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError, EngineError
+from repro.experiments.config import (
+    ButterflyExperiment,
+    FatMeshExperiment,
+    FatTree3Experiment,
+    SingleSwitchExperiment,
+)
+from repro.experiments.runner import (
+    simulate_butterfly,
+    simulate_fat_mesh,
+    simulate_fat_tree3,
+    simulate_single_switch,
+)
+from repro.faults import FaultPlan
+from repro.network.health import HealthConfig
+from repro.network.network import Network
+from repro.network.topology import single_switch
+from repro.router.config import RouterConfig, RoutingMode
+from repro.sim.engine import (
+    DEFAULT_ENGINE,
+    ENGINE_ARRAY,
+    ENGINE_OBJECT,
+    ENGINES,
+    resolve_engine,
+)
+
+TINY = dict(scale=100.0, warmup_frames=1, measure_frames=2, seed=7)
+
+
+def _metrics(result):
+    # repr-compare: exact for every finite float, and NaN fields (a
+    # horizon too short to deliver frames) stay comparable
+    return repr(dataclasses.asdict(result.metrics))
+
+
+class TestEngineErrors:
+    def test_registry_and_default(self):
+        assert ENGINES == (ENGINE_OBJECT, ENGINE_ARRAY)
+        assert DEFAULT_ENGINE == ENGINE_OBJECT
+
+    def test_engine_error_is_a_configuration_error(self):
+        assert issubclass(EngineError, ConfigurationError)
+
+    def test_unknown_engine_name_is_rejected(self):
+        with pytest.raises(EngineError, match="unknown simulation engine"):
+            resolve_engine("vector")
+
+    def test_array_engine_rejects_legacy_loop(self):
+        with pytest.raises(EngineError, match="REPRO_LEGACY_LOOP"):
+            resolve_engine(ENGINE_ARRAY, legacy_loop=True)
+
+    def test_object_engine_allows_legacy_loop(self):
+        assert resolve_engine(ENGINE_OBJECT, legacy_loop=True) == ENGINE_OBJECT
+
+    def test_network_validates_engine_at_construction(self):
+        topology = single_switch(4)
+        config = RouterConfig(num_ports=topology.ports_per_router)
+        with pytest.raises(EngineError):
+            Network(topology, config, engine="simd")
+
+    def test_network_rejects_array_under_legacy_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LEGACY_LOOP", "1")
+        topology = single_switch(4)
+        config = RouterConfig(num_ports=topology.ports_per_router)
+        with pytest.raises(EngineError, match="REPRO_LEGACY_LOOP"):
+            Network(topology, config, engine=ENGINE_ARRAY)
+
+    def test_experiment_carries_engine_to_simulation(self, monkeypatch):
+        """A bad engine on the experiment fails before any cycles run."""
+        monkeypatch.delenv("REPRO_LEGACY_LOOP", raising=False)
+        experiment = SingleSwitchExperiment(engine="warp", **TINY)
+        with pytest.raises(EngineError):
+            simulate_single_switch(experiment)
+
+
+class TestArrayEngineParity:
+    """``engine="array"`` is bit-identical on every workload family."""
+
+    @pytest.fixture(autouse=True)
+    def _default_loop(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LEGACY_LOOP", raising=False)
+
+    def _pair(self, simulate, experiment):
+        reference = simulate(experiment)
+        array = simulate(
+            dataclasses.replace(experiment, engine=ENGINE_ARRAY)
+        )
+        return reference, array
+
+    @pytest.mark.parametrize("scheduler", ["virtual_clock", "fifo"])
+    def test_single_switch_schedulers(self, scheduler):
+        experiment = SingleSwitchExperiment(
+            load=0.8, mix=(80, 20), scheduler=scheduler, **TINY
+        )
+        reference, array = self._pair(simulate_single_switch, experiment)
+        assert _metrics(array) == _metrics(reference)
+
+    def test_fat_mesh(self):
+        experiment = FatMeshExperiment(load=0.7, mix=(80, 20), **TINY)
+        reference, array = self._pair(simulate_fat_mesh, experiment)
+        assert _metrics(array) == _metrics(reference)
+
+    def test_fat_tree3(self):
+        experiment = FatTree3Experiment(load=0.7, mix=(80, 20), **TINY)
+        reference, array = self._pair(simulate_fat_tree3, experiment)
+        assert _metrics(array) == _metrics(reference)
+
+    def test_butterfly(self):
+        experiment = ButterflyExperiment(load=0.7, mix=(80, 20), **TINY)
+        reference, array = self._pair(simulate_butterfly, experiment)
+        assert _metrics(array) == _metrics(reference)
+
+    def test_faulted_run_falls_back_identically(self):
+        """Fault injection is a cold feature: the array engine must
+        delegate to the object loop and stay bit-identical."""
+        experiment = FatMeshExperiment(
+            load=0.7,
+            mix=(80, 20),
+            faults=FaultPlan(flit_loss_prob=0.01),
+            watchdog_window=200_000,
+            **TINY,
+        )
+        reference, array = self._pair(simulate_fat_mesh, experiment)
+        assert _metrics(array) == _metrics(reference)
+        assert array.fault_stats == reference.fault_stats
+
+    def test_adaptive_failover_falls_back_identically(self):
+        experiment = FatMeshExperiment(
+            load=0.7,
+            mix=(80, 20),
+            routing_mode=RoutingMode.ADAPTIVE,
+            health=HealthConfig(),
+            watchdog_window=200_000,
+            **TINY,
+        )
+        reference, array = self._pair(simulate_fat_mesh, experiment)
+        assert _metrics(array) == _metrics(reference)
+
+    def test_array_matches_legacy_golden_digest(self, monkeypatch):
+        """Three-way anchor: the array engine agrees with the legacy
+        full-scan loop, not merely with the fused object loop."""
+        experiment = SingleSwitchExperiment(load=0.9, mix=(80, 20), **TINY)
+        array = simulate_single_switch(
+            dataclasses.replace(experiment, engine=ENGINE_ARRAY)
+        )
+        monkeypatch.setenv("REPRO_LEGACY_LOOP", "1")
+        legacy = simulate_single_switch(experiment)
+        assert _metrics(array) == _metrics(legacy)
+
+
+class TestEngineCli:
+    def test_run_help_lists_engine_flag(self, capsys):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--engine" in out
+        assert "{object,array}" in out
+
+    def test_all_help_lists_engine_flag(self, capsys):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["all", "--help"])
+        assert excinfo.value.code == 0
+        assert "--engine" in capsys.readouterr().out
